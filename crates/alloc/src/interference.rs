@@ -1,0 +1,161 @@
+//! Interference graph and greedy coloring — the general-purpose register
+//! allocator, kept alongside [`crate::left_edge`] for ablation.
+//!
+//! On interval graphs (straight-line schedules) left-edge is optimal;
+//! greedy coloring in birth order matches it, while arbitrary orders may
+//! not. The tests pin both facts.
+
+use crate::lifetimes::Lifetime;
+use hls_ir::OpId;
+
+/// An interference graph over value lifetimes.
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    producers: Vec<OpId>,
+    /// Adjacency by local index.
+    adj: Vec<Vec<usize>>,
+}
+
+impl InterferenceGraph {
+    /// Builds the interference graph of the (non-empty) lifetimes.
+    pub fn build(lifetimes: &[Lifetime]) -> Self {
+        let live: Vec<Lifetime> = lifetimes.iter().copied().filter(|l| !l.is_empty()).collect();
+        let n = live.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if live[i].overlaps(live[j]) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        InterferenceGraph {
+            producers: live.iter().map(|l| l.producer).collect(),
+            adj,
+        }
+    }
+
+    /// Number of interfering value pairs.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// `true` if there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.producers.is_empty()
+    }
+
+    /// Greedily colors the values in the given order (indices into this
+    /// graph); returns `(producer, color)` pairs and the color count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..len`.
+    pub fn color_in_order(&self, order: &[usize]) -> (Vec<(OpId, usize)>, usize) {
+        assert_eq!(order.len(), self.len());
+        let mut color: Vec<Option<usize>> = vec![None; self.len()];
+        let mut max_color = 0;
+        for &i in order {
+            let mut used: Vec<bool> = vec![false; self.len() + 1];
+            for &j in &self.adj[i] {
+                if let Some(c) = color[j] {
+                    used[c] = true;
+                }
+            }
+            let c = (0..).find(|&c| !used[c]).expect("some color is free");
+            color[i] = Some(c);
+            max_color = max_color.max(c + 1);
+        }
+        let out = self
+            .producers
+            .iter()
+            .zip(color)
+            .map(|(&p, c)| (p, c.expect("all colored")))
+            .collect();
+        (out, max_color)
+    }
+
+    /// Greedy coloring in lifetime-birth order — equivalent to left-edge
+    /// on interval graphs.
+    pub fn color(&self, lifetimes: &[Lifetime]) -> (Vec<(OpId, usize)>, usize) {
+        let live: Vec<Lifetime> = lifetimes.iter().copied().filter(|l| !l.is_empty()).collect();
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&i| (live[i].birth, live[i].death));
+        self.color_in_order(&order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::left_edge;
+    use crate::lifetimes::{self, max_live};
+    use hls_ir::{bench_graphs, ResourceSet};
+
+    fn lt(i: usize, birth: u64, death: u64) -> Lifetime {
+        Lifetime {
+            producer: OpId::from_index(i),
+            birth,
+            death,
+        }
+    }
+
+    #[test]
+    fn interference_edges_match_overlaps() {
+        let ls = [lt(0, 0, 5), lt(1, 1, 3), lt(2, 5, 7)];
+        let ig = InterferenceGraph::build(&ls);
+        assert_eq!(ig.len(), 3);
+        assert_eq!(ig.edge_count(), 1, "only 0 and 1 overlap");
+    }
+
+    #[test]
+    fn coloring_respects_interference() {
+        let ls = [lt(0, 0, 5), lt(1, 1, 3), lt(2, 2, 4), lt(3, 5, 6)];
+        let ig = InterferenceGraph::build(&ls);
+        let (colors, n) = ig.color(&ls);
+        assert_eq!(n, 3);
+        let get = |i: usize| {
+            colors
+                .iter()
+                .find(|(p, _)| *p == OpId::from_index(i))
+                .map(|&(_, c)| c)
+                .unwrap()
+        };
+        assert_ne!(get(0), get(1));
+        assert_ne!(get(0), get(2));
+        assert_ne!(get(1), get(2));
+    }
+
+    #[test]
+    fn birth_order_coloring_matches_left_edge_on_benchmarks() {
+        for (_, g) in bench_graphs::all() {
+            let out = hls_baselines::list_schedule(
+                &g,
+                &ResourceSet::classic(2, 2),
+                hls_baselines::Priority::CriticalPath,
+            )
+            .unwrap();
+            let ls = lifetimes::lifetimes(&g, &out.schedule).unwrap();
+            let ig = InterferenceGraph::build(&ls);
+            let (_, colors) = ig.color(&ls);
+            let le = left_edge::allocate(&ls);
+            assert_eq!(colors, le.register_count());
+            assert_eq!(colors, max_live(&ls));
+        }
+    }
+
+    #[test]
+    fn empty_graph_colors_trivially() {
+        let ig = InterferenceGraph::build(&[]);
+        assert!(ig.is_empty());
+        let (colors, n) = ig.color(&[]);
+        assert!(colors.is_empty());
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The left-edge register allocator.
+//!
+//! Optimal for interval graphs (which schedule lifetimes are): sweep the
+//! lifetimes by birth step and put each value in the first register whose
+//! previous occupant has died. The number of registers used equals
+//! MAXLIVE.
+
+use crate::lifetimes::Lifetime;
+use hls_ir::OpId;
+
+/// A register assignment for a set of lifetimes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegAllocation {
+    /// `(producer, register)` pairs, one per allocated lifetime.
+    assignment: Vec<(OpId, usize)>,
+    /// Number of registers used.
+    count: usize,
+}
+
+impl RegAllocation {
+    /// Number of registers used.
+    pub fn register_count(&self) -> usize {
+        self.count
+    }
+
+    /// The register holding the value of `producer`, if it was allocated.
+    pub fn register_of(&self, producer: OpId) -> Option<usize> {
+        self.assignment
+            .iter()
+            .find(|(p, _)| *p == producer)
+            .map(|&(_, r)| r)
+    }
+
+    /// All `(producer, register)` pairs.
+    pub fn assignments(&self) -> &[(OpId, usize)] {
+        &self.assignment
+    }
+}
+
+/// Allocates registers by the left-edge algorithm. `lifetimes` may be in
+/// any order; empty lifetimes are skipped.
+pub fn allocate(lifetimes: &[Lifetime]) -> RegAllocation {
+    let mut sorted: Vec<Lifetime> = lifetimes.iter().copied().filter(|l| !l.is_empty()).collect();
+    sorted.sort_by_key(|l| (l.birth, l.death, l.producer));
+    // free_at[r] = step at which register r becomes free.
+    let mut free_at: Vec<u64> = Vec::new();
+    let mut assignment = Vec::with_capacity(sorted.len());
+    for l in sorted {
+        match free_at.iter().position(|&f| f <= l.birth) {
+            Some(r) => {
+                free_at[r] = l.death;
+                assignment.push((l.producer, r));
+            }
+            None => {
+                free_at.push(l.death);
+                assignment.push((l.producer, free_at.len() - 1));
+            }
+        }
+    }
+    RegAllocation {
+        count: free_at.len(),
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetimes::{self, max_live};
+    use hls_ir::{bench_graphs, ResourceSet};
+
+    fn lt(i: usize, birth: u64, death: u64) -> Lifetime {
+        Lifetime {
+            producer: OpId::from_index(i),
+            birth,
+            death,
+        }
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_one_register() {
+        let alloc = allocate(&[lt(0, 0, 2), lt(1, 2, 4), lt(2, 4, 6)]);
+        assert_eq!(alloc.register_count(), 1);
+        assert_eq!(alloc.register_of(OpId::from_index(0)), Some(0));
+        assert_eq!(alloc.register_of(OpId::from_index(2)), Some(0));
+    }
+
+    #[test]
+    fn overlapping_lifetimes_get_distinct_registers() {
+        let alloc = allocate(&[lt(0, 0, 5), lt(1, 1, 3), lt(2, 2, 4)]);
+        assert_eq!(alloc.register_count(), 3);
+        let r0 = alloc.register_of(OpId::from_index(0)).unwrap();
+        let r1 = alloc.register_of(OpId::from_index(1)).unwrap();
+        let r2 = alloc.register_of(OpId::from_index(2)).unwrap();
+        assert!(r0 != r1 && r1 != r2 && r0 != r2);
+    }
+
+    #[test]
+    fn empty_lifetimes_are_skipped() {
+        let alloc = allocate(&[lt(0, 3, 3)]);
+        assert_eq!(alloc.register_count(), 0);
+        assert_eq!(alloc.register_of(OpId::from_index(0)), None);
+    }
+
+    #[test]
+    fn left_edge_is_optimal_on_benchmarks() {
+        // Left-edge register count must equal MAXLIVE on every benchmark
+        // under every paper allocation.
+        for (_, g) in bench_graphs::all() {
+            for (alus, muls) in [(2, 2), (4, 4), (2, 1)] {
+                let out = hls_baselines::list_schedule(
+                    &g,
+                    &ResourceSet::classic(alus, muls),
+                    hls_baselines::Priority::CriticalPath,
+                )
+                .unwrap();
+                let ls = lifetimes::lifetimes(&g, &out.schedule).unwrap();
+                let alloc = allocate(&ls);
+                assert_eq!(alloc.register_count(), max_live(&ls));
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_overlapping_values_share_a_register() {
+        let g = bench_graphs::ewf();
+        let out = hls_baselines::list_schedule(
+            &g,
+            &ResourceSet::classic(2, 1),
+            hls_baselines::Priority::CriticalPath,
+        )
+        .unwrap();
+        let ls = lifetimes::lifetimes(&g, &out.schedule).unwrap();
+        let alloc = allocate(&ls);
+        for a in &ls {
+            for b in &ls {
+                if a.producer != b.producer && a.overlaps(*b) {
+                    assert_ne!(
+                        alloc.register_of(a.producer),
+                        alloc.register_of(b.producer),
+                        "{} and {} overlap",
+                        a.producer,
+                        b.producer
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Register allocation and binding substrate.
+//!
+//! The paper's first phase-coupling scenario (Section 1) is register
+//! allocation: values that do not fit in the register file must be
+//! spilled to background memory, which inserts `st`/`ld` operations into
+//! an already-scheduled behavior. This crate provides the allocation
+//! machinery that *produces* those decisions:
+//!
+//! * [`lifetimes`] — value lifetime extraction from a hard schedule;
+//! * [`left_edge`] — the classic optimal interval-graph register
+//!   allocator;
+//! * [`interference`] — interference graph plus greedy coloring (an
+//!   alternative allocator, used for ablation);
+//! * [`spill`] — spill-candidate selection when the register budget is
+//!   exceeded;
+//! * [`interconnect`] — connection/multiplexer estimation for a bound
+//!   design (the paper's "interconnect binding" subtask).
+//!
+//! The driver that feeds spill decisions back into a *soft* schedule
+//! lives in `hls-flow` (it needs the threaded scheduler).
+
+pub mod interconnect;
+pub mod interference;
+pub mod left_edge;
+pub mod lifetimes;
+pub mod spill;
+
+pub use interconnect::InterconnectStats;
+pub use left_edge::RegAllocation;
+pub use lifetimes::{Lifetime, LifetimeError};

@@ -1,0 +1,202 @@
+//! Value lifetimes under a hard schedule.
+//!
+//! The value computed by an operation is born when the operation
+//! finishes and must be held in a register until the start of its last
+//! consumer. Operations whose consumers all start in the birth step
+//! (chaining) and operations without consumers (primary outputs are
+//! handled by the caller) produce empty lifetimes.
+
+use hls_ir::{HardSchedule, OpId, PrecedenceGraph};
+use std::error::Error;
+use std::fmt;
+
+/// The register lifetime of one produced value, as the half-open step
+/// interval `[birth, death)`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Lifetime {
+    /// The producing operation.
+    pub producer: OpId,
+    /// First step the value occupies a register (producer finish).
+    pub birth: u64,
+    /// First step the value is no longer needed (last consumer start).
+    pub death: u64,
+}
+
+impl Lifetime {
+    /// Interval length in steps.
+    pub fn len(self) -> u64 {
+        self.death - self.birth
+    }
+
+    /// `true` if the value never occupies a register.
+    pub fn is_empty(self) -> bool {
+        self.death == self.birth
+    }
+
+    /// `true` if two lifetimes overlap (and thus need distinct
+    /// registers).
+    pub fn overlaps(self, other: Lifetime) -> bool {
+        self.birth < other.death && other.birth < self.death
+    }
+}
+
+/// Error for lifetime extraction over incomplete schedules.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct LifetimeError(pub OpId);
+
+impl fmt::Display for LifetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "operation {} has no start time", self.0)
+    }
+}
+
+impl Error for LifetimeError {}
+
+/// Extracts the (non-empty) value lifetimes of `g` under `sched`, sorted
+/// by birth step.
+///
+/// # Errors
+///
+/// Returns [`LifetimeError`] if any operation with consumers is
+/// unscheduled.
+pub fn lifetimes(
+    g: &PrecedenceGraph,
+    sched: &HardSchedule,
+) -> Result<Vec<Lifetime>, LifetimeError> {
+    let mut out = Vec::new();
+    for p in g.op_ids() {
+        if g.succs(p).is_empty() {
+            continue;
+        }
+        // A stored value lives in background memory until its reload; it
+        // occupies no register (that is what spilling buys).
+        if g.kind(p) == hls_ir::OpKind::Store {
+            continue;
+        }
+        let birth = sched.finish(g, p).ok_or(LifetimeError(p))?;
+        let mut death = birth;
+        for &q in g.succs(p) {
+            death = death.max(sched.start(q).ok_or(LifetimeError(q))?);
+        }
+        if death > birth {
+            out.push(Lifetime {
+                producer: p,
+                birth,
+                death,
+            });
+        }
+    }
+    out.sort_by_key(|l| (l.birth, l.death, l.producer));
+    Ok(out)
+}
+
+/// The maximum number of simultaneously live values (MAXLIVE) — a lower
+/// bound on the registers any allocator needs.
+pub fn max_live(lifetimes: &[Lifetime]) -> usize {
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(lifetimes.len() * 2);
+    for l in lifetimes {
+        events.push((l.birth, 1));
+        events.push((l.death, -1));
+    }
+    events.sort();
+    let mut live = 0i64;
+    let mut best = 0i64;
+    for (_, d) in events {
+        live += d;
+        best = best.max(live);
+    }
+    best as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{OpKind, ResourceSet};
+
+    fn scheduled_hal() -> (PrecedenceGraph, HardSchedule) {
+        let g = hls_ir::bench_graphs::hal();
+        let out = hls_baselines::list_schedule(
+            &g,
+            &ResourceSet::classic(2, 2),
+            hls_baselines::Priority::CriticalPath,
+        )
+        .unwrap();
+        (g, out.schedule)
+    }
+
+    #[test]
+    fn lifetimes_start_at_finish_and_end_at_last_use() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Mul, 2, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        let c = g.add_op(OpKind::Add, 1, "c");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        let mut s = HardSchedule::new(3);
+        s.assign(a, 0, Some(0));
+        s.assign(b, 2, Some(1));
+        s.assign(c, 5, Some(1));
+        let ls = lifetimes(&g, &s).unwrap();
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0], Lifetime { producer: a, birth: 2, death: 5 });
+        assert_eq!(ls[0].len(), 3);
+    }
+
+    #[test]
+    fn chained_consumers_need_no_register() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, b).unwrap();
+        let mut s = HardSchedule::new(2);
+        s.assign(a, 0, Some(0));
+        s.assign(b, 1, Some(0));
+        let ls = lifetimes(&g, &s).unwrap();
+        assert!(ls.is_empty(), "back-to-back value is forwarded");
+    }
+
+    #[test]
+    fn incomplete_schedule_is_an_error() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, b).unwrap();
+        let s = HardSchedule::new(2);
+        assert_eq!(lifetimes(&g, &s), Err(LifetimeError(a)));
+    }
+
+    #[test]
+    fn overlap_predicate_matches_interval_semantics() {
+        let a = Lifetime { producer: OpId::from_index(0), birth: 0, death: 3 };
+        let b = Lifetime { producer: OpId::from_index(1), birth: 2, death: 5 };
+        let c = Lifetime { producer: OpId::from_index(2), birth: 3, death: 4 };
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c), "half-open: death == birth does not clash");
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    fn hal_lifetimes_and_maxlive_are_plausible() {
+        let (g, s) = scheduled_hal();
+        let ls = lifetimes(&g, &s).unwrap();
+        assert!(!ls.is_empty());
+        let ml = max_live(&ls);
+        // HAL under 2 ALU / 2 MUL holds a handful of values, never more
+        // than the number of producing ops.
+        assert!(ml >= 1 && ml <= g.len());
+        for l in &ls {
+            assert!(l.death > l.birth);
+        }
+    }
+
+    #[test]
+    fn max_live_of_disjoint_intervals_is_one() {
+        let ls = vec![
+            Lifetime { producer: OpId::from_index(0), birth: 0, death: 1 },
+            Lifetime { producer: OpId::from_index(1), birth: 1, death: 2 },
+            Lifetime { producer: OpId::from_index(2), birth: 2, death: 9 },
+        ];
+        assert_eq!(max_live(&ls), 1);
+        assert_eq!(max_live(&[]), 0);
+    }
+}

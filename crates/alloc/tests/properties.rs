@@ -1,0 +1,114 @@
+//! Property-based tests for register allocation over randomized
+//! schedules.
+
+use hls_alloc::{interference::InterferenceGraph, left_edge, lifetimes, spill};
+use hls_baselines::{list_schedule, Priority};
+use hls_ir::{generate, ResourceSet};
+use proptest::prelude::*;
+
+fn scheduled(
+    seed: u64,
+    ops: usize,
+    alus: usize,
+    muls: usize,
+) -> (hls_ir::PrecedenceGraph, hls_ir::HardSchedule) {
+    let g = generate::layered_dag(
+        seed,
+        &generate::LayeredConfig {
+            ops,
+            width: (ops / 4).max(2),
+            ..generate::LayeredConfig::default()
+        },
+    );
+    let out = list_schedule(&g, &ResourceSet::classic(alus, muls), Priority::CriticalPath)
+        .unwrap();
+    (g, out.schedule)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Left-edge is optimal: register count equals MAXLIVE, and no two
+    /// overlapping lifetimes share a register.
+    #[test]
+    fn left_edge_is_optimal_and_conflict_free(
+        seed in 0u64..1000,
+        ops in 6usize..48,
+        alus in 1usize..4,
+        muls in 1usize..3,
+    ) {
+        let (g, sched) = scheduled(seed, ops, alus, muls);
+        let ls = lifetimes::lifetimes(&g, &sched).unwrap();
+        let alloc = left_edge::allocate(&ls);
+        prop_assert_eq!(alloc.register_count(), lifetimes::max_live(&ls));
+        for a in &ls {
+            for b in &ls {
+                if a.producer != b.producer && a.overlaps(*b) {
+                    prop_assert_ne!(
+                        alloc.register_of(a.producer),
+                        alloc.register_of(b.producer)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy coloring never beats left-edge (interval optimality), and
+    /// in birth order it matches exactly.
+    #[test]
+    fn coloring_bounds_hold(
+        seed in 0u64..500,
+        ops in 6usize..40,
+    ) {
+        let (g, sched) = scheduled(seed, ops, 2, 2);
+        let ls = lifetimes::lifetimes(&g, &sched).unwrap();
+        let le = left_edge::allocate(&ls).register_count();
+        let ig = InterferenceGraph::build(&ls);
+        let (_, birth_order) = ig.color(&ls);
+        prop_assert_eq!(birth_order, le);
+        // Arbitrary order: still a proper coloring, possibly wider.
+        let order: Vec<usize> = (0..ig.len()).rev().collect();
+        let (colors, n) = ig.color_in_order(&order);
+        prop_assert!(n >= le || ig.is_empty());
+        let live: Vec<_> = ls.iter().filter(|l| !l.is_empty()).collect();
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                if a.overlaps(**b) {
+                    let ca = colors.iter().find(|(p, _)| *p == a.producer).unwrap().1;
+                    let cb = colors.iter().find(|(p, _)| *p == b.producer).unwrap().1;
+                    prop_assert_ne!(ca, cb);
+                }
+            }
+        }
+    }
+
+    /// The chosen spill victim is always live at a step of maximal
+    /// pressure and is a longest such lifetime.
+    #[test]
+    fn spill_victim_is_at_peak_pressure(
+        seed in 0u64..500,
+        ops in 8usize..40,
+    ) {
+        let (g, sched) = scheduled(seed, ops, 2, 2);
+        let ls = lifetimes::lifetimes(&g, &sched).unwrap();
+        prop_assume!(!ls.is_empty());
+        let d = spill::pick_spill(&g, &ls).unwrap();
+        let victim = ls.iter().find(|l| l.producer == d.producer).unwrap();
+        // The consumer must actually consume the victim's value.
+        prop_assert!(g.succs(d.producer).contains(&d.consumer));
+        // The victim must be live at a step of globally maximal register
+        // pressure (that is what makes spilling it useful).
+        let pressure_at = |t: u64| ls.iter().filter(|l| l.birth <= t && t < l.death).count();
+        let peak = ls
+            .iter()
+            .flat_map(|l| [l.birth, l.death.saturating_sub(1)])
+            .map(pressure_at)
+            .max()
+            .unwrap_or(0);
+        let victim_peak = (victim.birth..victim.death)
+            .map(pressure_at)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(victim_peak, peak, "victim must span a peak step");
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion bench for Theorem 3: per-graph-size scheduling cost of
+//! Algorithm 1 vs the naive speculative scheduler vs list scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hls_ir::{generate, ResourceSet};
+use std::hint::black_box;
+use threaded_sched::{meta::MetaSchedule, ExhaustiveScheduler, ThreadedScheduler};
+
+fn bench_scaling(c: &mut Criterion) {
+    let resources = ResourceSet::classic(2, 2);
+    let mut group = c.benchmark_group("theorem3_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[64usize, 128, 256, 512] {
+        let cfg = generate::LayeredConfig {
+            ops: n,
+            width: (n / 8).max(2),
+            edge_prob: 0.25,
+            ..generate::LayeredConfig::default()
+        };
+        let g = generate::layered_dag(0xC0FFEE ^ n as u64, &cfg);
+        let order = MetaSchedule::Topological.order(&g, &resources).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ts = ThreadedScheduler::new(g.clone(), resources.clone()).unwrap();
+                ts.schedule_all(order.iter().copied()).unwrap();
+                black_box(ts.diameter())
+            })
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("naive_speculative", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut ex =
+                        ExhaustiveScheduler::new(g.clone(), resources.clone()).unwrap();
+                    ex.schedule_all(order.iter().copied()).unwrap();
+                    black_box(ex.diameter())
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("list", n), &n, |b, _| {
+            b.iter(|| {
+                let out = hls_baselines::list_schedule(
+                    &g,
+                    &resources,
+                    hls_baselines::Priority::CriticalPath,
+                )
+                .unwrap();
+                black_box(out.length(&g))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for incremental refinement: absorbing one change into
+//! an existing soft schedule vs rescheduling the modified behavior.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_ir::{bench_graphs, ResourceClass, ResourceSet};
+use std::hint::black_box;
+use threaded_sched::{meta::MetaSchedule, refine, ThreadedScheduler};
+
+fn scheduled(name: &str) -> ThreadedScheduler {
+    let (_, g) = bench_graphs::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap();
+    let r = ResourceSet::classic(2, 1).with(ResourceClass::MemPort, 1);
+    let order = MetaSchedule::ListBased.order(&g, &r).unwrap();
+    let mut ts = ThreadedScheduler::new(g, r).unwrap();
+    ts.schedule_all(order).unwrap();
+    ts
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for name in ["HAL", "AR", "EF", "FIR"] {
+        let base = scheduled(name);
+        let edge = base.graph().edges().next().unwrap();
+        group.bench_with_input(BenchmarkId::new("soft_wire_delay", name), &(), |b, ()| {
+            b.iter(|| {
+                let mut ts = base.clone();
+                black_box(refine::insert_wire_delay(&mut ts, edge.0, edge.1, 1).unwrap());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reschedule_list", name), &(), |b, ()| {
+            b.iter(|| {
+                let mut g = base.graph().clone();
+                g.splice_on_edge(
+                    edge.0,
+                    edge.1,
+                    [(hls_ir::OpKind::WireDelay, 1, "wd".to_string())],
+                )
+                .unwrap();
+                let out = hls_baselines::list_schedule(
+                    &g,
+                    base.resources(),
+                    hls_baselines::Priority::CriticalPath,
+                )
+                .unwrap();
+                black_box(out.length(&g))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

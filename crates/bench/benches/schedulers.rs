@@ -1,0 +1,52 @@
+//! Criterion bench over the Figure 3 workloads: scheduling each
+//! benchmark DFG with every scheduler under the paper's allocations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_ir::bench_graphs;
+use std::hint::black_box;
+use threaded_sched::{meta::MetaSchedule, ThreadedScheduler};
+
+fn bench_fig3_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_workloads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (name, g) in bench_graphs::all() {
+        for (label, resources) in hls_bench::fig3::paper_configs() {
+            for meta in MetaSchedule::PAPER {
+                let order = meta.order(&g, &resources).unwrap();
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{}", meta.name()), label),
+                    &order,
+                    |b, order| {
+                        b.iter(|| {
+                            let mut ts =
+                                ThreadedScheduler::new(g.clone(), resources.clone()).unwrap();
+                            ts.schedule_all(order.iter().copied()).unwrap();
+                            black_box(ts.diameter())
+                        })
+                    },
+                );
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/list"), label),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        let out = hls_baselines::list_schedule(
+                            &g,
+                            &resources,
+                            hls_baselines::Priority::CriticalPath,
+                        )
+                        .unwrap();
+                        black_box(out.length(&g))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_workloads);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Theorem 3 scaling table: Algorithm 1 vs naive speculation vs list.
+fn main() {
+    let sizes = [64, 128, 256, 512, 1024, 2048];
+    let points = hls_bench::complexity::run(&sizes, 512);
+    println!("Theorem 3 — full-schedule wall time by graph size");
+    println!("{}", hls_bench::complexity::report(&points));
+}

@@ -1,0 +1,6 @@
+//! Phase-coupling ablation: soft refinement vs hard patch vs reschedule.
+fn main() {
+    let rows = hls_bench::coupling::run(4, 2024);
+    println!("Phase-coupling ablation (4 injected changes per campaign)");
+    println!("{}", hls_bench::coupling::report(&rows));
+}

@@ -1,0 +1,7 @@
+//! Delay-model sensitivity sweep: multiplier latency 1..4.
+fn main() {
+    let resources = hls_ir::ResourceSet::classic(2, 2);
+    let rows = hls_bench::delay_sweep::run(&resources, 4);
+    println!("Delay-model sweep (2 ALU, 2 MUL; multiplier latency 1..4)");
+    println!("{}", hls_bench::delay_sweep::report(&rows));
+}

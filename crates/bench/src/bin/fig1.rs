@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 1 walkthrough (motivating example).
+fn main() {
+    let measured = hls_bench::fig1::run();
+    println!("Figure 1 — phase coupling on the motivating example");
+    println!("{}", hls_bench::fig1::report(&measured));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 3 benchmark table.
+fn main() {
+    let rows = hls_bench::fig3::run();
+    println!("Figure 3 — scheduling results under resource constraints");
+    println!("{}", hls_bench::fig3::report(&rows));
+}

@@ -1,0 +1,7 @@
+//! Meta-schedule sensitivity study.
+fn main() {
+    let resources = hls_ir::ResourceSet::classic(2, 2);
+    let rows = hls_bench::meta_ablation::run(&resources, 50);
+    println!("Meta-schedule ablation (2 ALU, 2 MUL; 50 random orders)");
+    println!("{}", hls_bench::meta_ablation::report(&rows));
+}

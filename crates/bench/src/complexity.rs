@@ -1,0 +1,141 @@
+//! Theorem 3: linear per-operation complexity of Algorithm 1.
+//!
+//! The paper proves `F(v, S)` is computable in `O(|V|)` time and notes
+//! that the naive speculative implementation costs `O(|V|² · |E|)` for a
+//! full schedule. This experiment measures wall-clock time for complete
+//! schedules of layered random DFGs of growing size with both
+//! implementations (plus list scheduling for reference), exposing the
+//! quadratic-vs-cubic gap.
+
+use hls_ir::{generate, ResourceSet};
+use std::time::Instant;
+use threaded_sched::{meta::MetaSchedule, ExhaustiveScheduler, ThreadedScheduler};
+
+/// One measured size point.
+#[derive(Clone, Debug)]
+pub struct SizePoint {
+    /// Number of operations.
+    pub ops: usize,
+    /// Edges in the generated DFG.
+    pub edges: usize,
+    /// Full-schedule wall time of Algorithm 1, microseconds.
+    pub threaded_us: u128,
+    /// Full-schedule wall time of the naive speculative scheduler,
+    /// microseconds (`None` if skipped as too large).
+    pub naive_us: Option<u128>,
+    /// List-scheduling wall time, microseconds.
+    pub list_us: u128,
+}
+
+/// Runs the scaling experiment over the given sizes. The naive scheduler
+/// is skipped above `naive_cutoff` operations.
+///
+/// # Panics
+///
+/// Panics if a generated workload fails to schedule (cannot happen: the
+/// generator emits ALU/MUL ops only and both unit classes are present).
+pub fn run(sizes: &[usize], naive_cutoff: usize) -> Vec<SizePoint> {
+    let resources = ResourceSet::classic(2, 2);
+    sizes
+        .iter()
+        .map(|&n| {
+            let cfg = generate::LayeredConfig {
+                ops: n,
+                width: (n / 8).max(2),
+                edge_prob: 0.25,
+                ..generate::LayeredConfig::default()
+            };
+            let g = generate::layered_dag(0xC0FFEE ^ n as u64, &cfg);
+            let order = MetaSchedule::Topological
+                .order(&g, &resources)
+                .expect("generated graph is a DAG");
+
+            let t0 = Instant::now();
+            let mut ts = ThreadedScheduler::new(g.clone(), resources.clone())
+                .expect("generated graph is valid");
+            ts.schedule_all(order.iter().copied()).expect("schedulable");
+            let threaded_us = t0.elapsed().as_micros();
+
+            let naive_us = (n <= naive_cutoff).then(|| {
+                let t0 = Instant::now();
+                let mut ex = ExhaustiveScheduler::new(g.clone(), resources.clone())
+                    .expect("generated graph is valid");
+                ex.schedule_all(order.iter().copied()).expect("schedulable");
+                t0.elapsed().as_micros()
+            });
+
+            let t0 = Instant::now();
+            let _ = hls_baselines::list_schedule(
+                &g,
+                &resources,
+                hls_baselines::Priority::CriticalPath,
+            )
+            .expect("schedulable");
+            let list_us = t0.elapsed().as_micros();
+
+            SizePoint {
+                ops: n,
+                edges: g.edge_count(),
+                threaded_us,
+                naive_us,
+                list_us,
+            }
+        })
+        .collect()
+}
+
+/// Formats the scaling table.
+pub fn report(points: &[SizePoint]) -> String {
+    let header = vec![
+        "|V|".to_string(),
+        "|E|".to_string(),
+        "threaded (us)".to_string(),
+        "naive (us)".to_string(),
+        "list (us)".to_string(),
+        "naive/threaded".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.ops.to_string(),
+                p.edges.to_string(),
+                p.threaded_us.to_string(),
+                p.naive_us.map_or("-".to_string(), |v| v.to_string()),
+                p.list_us.to_string(),
+                p.naive_us
+                    .map_or("-".to_string(), |v| {
+                        format!("{:.1}x", v as f64 / p.threaded_us.max(1) as f64)
+                    }),
+            ]
+        })
+        .collect();
+    crate::render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_run_produces_points_and_naive_is_slower() {
+        let pts = run(&[48, 96], 96);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.threaded_us > 0, "threaded run must take measurable time");
+            let naive = p.naive_us.expect("below cutoff");
+            assert!(
+                naive >= p.threaded_us,
+                "naive speculation should not beat Algorithm 1"
+            );
+        }
+        let text = report(&pts);
+        assert!(text.contains("naive/threaded"));
+    }
+
+    #[test]
+    fn cutoff_skips_naive() {
+        let pts = run(&[48], 10);
+        assert!(pts[0].naive_us.is_none());
+    }
+}

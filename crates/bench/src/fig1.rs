@@ -1,0 +1,185 @@
+//! Figure 1: the motivating example, end to end.
+//!
+//! Regenerates every number quoted in the paper's Section 1/4 narrative:
+//!
+//! * (b) an ALAP hard schedule of the dataflow graph — 5 states;
+//! * (e) the threaded soft schedule with threads `{3,4,6,7}` / `{1,2,5}`
+//!   — 5 states;
+//! * (c) spilling the value of vertex 3: soft refinement reaches
+//!   **6** states, the hard trivial fix needs **7**;
+//! * (d) a wire delay after vertex 3: soft refinement stays at
+//!   **5** states, the hard trivial fix needs **6**.
+
+use hls_ir::{bench_graphs, OpKind, ResourceClass, ResourceSet};
+use threaded_sched::{refine, ThreadedScheduler};
+
+/// All headline numbers of the Figure 1 walkthrough.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fig1Numbers {
+    /// Length of the ALAP hard schedule of Figure 1(b).
+    pub alap_states: u64,
+    /// Diameter of the threaded soft schedule of Figure 1(e).
+    pub soft_states: u64,
+    /// Soft diameter after absorbing the spill of vertex 3 (Figure 1(c)
+    /// scenario).
+    pub soft_after_spill: u64,
+    /// Hard trivial-fix length for the same spill.
+    pub hard_after_spill: u64,
+    /// Soft diameter after absorbing the wire delay (Figure 1(d)
+    /// scenario).
+    pub soft_after_wire: u64,
+    /// Hard trivial-fix length for the same wire delay.
+    pub hard_after_wire: u64,
+}
+
+/// The paper's quoted values.
+pub fn paper_numbers() -> Fig1Numbers {
+    Fig1Numbers {
+        alap_states: 5,
+        soft_states: 5,
+        soft_after_spill: 6,
+        hard_after_spill: 7,
+        soft_after_wire: 5,
+        hard_after_wire: 6,
+    }
+}
+
+/// Builds the Figure 1(e) soft schedule: threads `{3,4,6,7}` and
+/// `{1,2,5}` over two universal units plus a memory port for spills.
+fn fig1_soft() -> (ThreadedScheduler, [hls_ir::OpId; 7]) {
+    let f = bench_graphs::fig1();
+    let r = ResourceSet::uniform(2).with(ResourceClass::MemPort, 1);
+    let mut ts = ThreadedScheduler::new(f.graph, r).expect("fig1 graph is valid");
+    for (op, thread) in [
+        (f.v[2], 0),
+        (f.v[3], 0),
+        (f.v[5], 0),
+        (f.v[6], 0),
+        (f.v[0], 1),
+        (f.v[1], 1),
+        (f.v[4], 1),
+    ] {
+        let p = ts
+            .feasible_placements(op)
+            .expect("fig1 ops schedulable")
+            .into_iter()
+            .filter(|p| p.thread == thread)
+            .next_back()
+            .expect("tail position exists");
+        ts.commit(p, op);
+    }
+    (ts, f.v)
+}
+
+/// Runs the walkthrough and returns the measured numbers.
+///
+/// # Panics
+///
+/// Panics if any refinement fails (cannot happen on the shipped graph).
+pub fn run() -> Fig1Numbers {
+    let f = bench_graphs::fig1();
+    let alap = hls_baselines::alap(&f.graph, hls_ir::algo::diameter(&f.graph))
+        .expect("fig1 is acyclic");
+    let alap_states = alap.length(&f.graph);
+
+    let (ts_spill, v) = fig1_soft();
+    let soft_states = ts_spill.diameter();
+    let base_hard = ts_spill.extract_hard();
+    let base_graph = ts_spill.graph().clone();
+    let resources = ts_spill.resources().clone();
+
+    // Spill refinement (Figure 1(c)).
+    let mut ts = ts_spill;
+    refine::insert_spill(&mut ts, v[2], v[3]).expect("spillable edge");
+    let soft_after_spill = ts.diameter();
+    let patched = refine::patch_hard_splice(
+        &base_graph,
+        &base_hard,
+        &resources,
+        v[2],
+        v[3],
+        [
+            (OpKind::Store, 1, "st".to_string()),
+            (OpKind::Load, 1, "ld".to_string()),
+        ],
+    )
+    .expect("patchable");
+    let hard_after_spill = patched.schedule.length(&patched.graph);
+
+    // Wire-delay refinement (Figure 1(d)) on a fresh Figure 1(e) state.
+    let (mut ts_wire, v) = fig1_soft();
+    refine::insert_wire_delay(&mut ts_wire, v[2], v[3], 1).expect("edge exists");
+    let soft_after_wire = ts_wire.diameter();
+    let wire_patch = refine::patch_hard_splice(
+        &base_graph,
+        &base_hard,
+        &resources,
+        v[2],
+        v[3],
+        [(OpKind::WireDelay, 1, "wd".to_string())],
+    )
+    .expect("patchable");
+    let hard_after_wire = wire_patch.schedule.length(&wire_patch.graph);
+
+    Fig1Numbers {
+        alap_states,
+        soft_states,
+        soft_after_spill,
+        hard_after_spill,
+        soft_after_wire,
+        hard_after_wire,
+    }
+}
+
+/// Formats measured vs paper numbers.
+pub fn report(measured: &Fig1Numbers) -> String {
+    let paper = paper_numbers();
+    let header = vec![
+        "quantity".to_string(),
+        "measured".to_string(),
+        "paper".to_string(),
+    ];
+    let rows = vec![
+        vec![
+            "ALAP hard schedule (b)".to_string(),
+            measured.alap_states.to_string(),
+            paper.alap_states.to_string(),
+        ],
+        vec![
+            "threaded soft schedule (e)".to_string(),
+            measured.soft_states.to_string(),
+            paper.soft_states.to_string(),
+        ],
+        vec![
+            "soft + spill (c)".to_string(),
+            measured.soft_after_spill.to_string(),
+            paper.soft_after_spill.to_string(),
+        ],
+        vec![
+            "hard trivial fix + spill".to_string(),
+            measured.hard_after_spill.to_string(),
+            paper.hard_after_spill.to_string(),
+        ],
+        vec![
+            "soft + wire delay (d)".to_string(),
+            measured.soft_after_wire.to_string(),
+            paper.soft_after_wire.to_string(),
+        ],
+        vec![
+            "hard trivial fix + wire delay".to_string(),
+            measured.hard_after_wire.to_string(),
+            paper.hard_after_wire.to_string(),
+        ],
+    ];
+    crate::render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure1_number_matches_the_paper() {
+        assert_eq!(run(), paper_numbers());
+    }
+}

@@ -1,0 +1,226 @@
+//! Figure 3: scheduling results of benchmarks under resource constraints.
+//!
+//! For each benchmark (HAL, AR, EF, FIR), each scheduler (threaded
+//! scheduling under meta schedules 1–4, and the traditional list
+//! scheduler) and each resource allocation (`2 ALU 2 MUL`, `4 ALU 4 MUL`,
+//! `2 ALU 1 MUL`), the experiment reports the schedule length in control
+//! states. The paper's claim: the threaded scheduler matches the list
+//! scheduler with few exceptions.
+
+use hls_baselines::{list_schedule, Priority};
+use hls_ir::{bench_graphs, PrecedenceGraph, ResourceSet};
+use threaded_sched::{meta::MetaSchedule, SchedError, ThreadedScheduler};
+
+/// The three resource allocations of the paper's columns.
+pub fn paper_configs() -> Vec<(&'static str, ResourceSet)> {
+    vec![
+        ("2+/-,2*", ResourceSet::classic(2, 2)),
+        ("4+/-,4*", ResourceSet::classic(4, 4)),
+        ("2+/-,1*", ResourceSet::classic(2, 1)),
+    ]
+}
+
+/// The paper's reported Figure 3 values, for the paper-vs-measured
+/// comparison. Row order: meta1..meta4, list; column order as
+/// [`paper_configs`].
+pub fn paper_values() -> Vec<(&'static str, [[u64; 3]; 5])> {
+    vec![
+        (
+            "HAL",
+            [
+                [8, 6, 14],
+                [8, 6, 14],
+                [8, 6, 13],
+                [8, 6, 13],
+                [8, 6, 13],
+            ],
+        ),
+        (
+            "AR",
+            [
+                [19, 11, 34],
+                [19, 11, 34],
+                [19, 11, 34],
+                [19, 11, 34],
+                [19, 11, 34],
+            ],
+        ),
+        (
+            "EF",
+            [
+                [19, 17, 24],
+                [19, 17, 24],
+                [19, 17, 24],
+                [19, 17, 24],
+                [19, 17, 24],
+            ],
+        ),
+        (
+            "FIR",
+            [
+                [11, 7, 19],
+                [11, 7, 19],
+                [11, 7, 19],
+                [11, 7, 19],
+                [11, 7, 19],
+            ],
+        ),
+    ]
+}
+
+/// One row of the regenerated table.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// Benchmark name (HAL, AR, EF, FIR).
+    pub benchmark: &'static str,
+    /// Scheduler name (`meta sched1..4` or `list sched`).
+    pub scheduler: &'static str,
+    /// Schedule length per resource configuration.
+    pub lengths: Vec<u64>,
+}
+
+/// Schedules `g` with the threaded scheduler fed by `meta`, returning the
+/// schedule length (state diameter).
+///
+/// # Errors
+///
+/// Propagates scheduler errors ([`SchedError`]).
+pub fn threaded_length(
+    g: &PrecedenceGraph,
+    resources: &ResourceSet,
+    meta: MetaSchedule,
+) -> Result<u64, SchedError> {
+    let order = meta.order(g, resources)?;
+    let mut ts = ThreadedScheduler::new(g.clone(), resources.clone())?;
+    ts.schedule_all(order)?;
+    Ok(ts.diameter())
+}
+
+/// Runs the full Figure 3 experiment.
+///
+/// # Panics
+///
+/// Panics if any scheduler fails on a benchmark (cannot happen with the
+/// shipped benchmark set and configs).
+pub fn run() -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for (name, g) in bench_graphs::all() {
+        for meta in MetaSchedule::PAPER {
+            let lengths: Vec<u64> = paper_configs()
+                .iter()
+                .map(|(_, r)| threaded_length(&g, r, meta).expect("benchmark schedules"))
+                .collect();
+            rows.push(Fig3Row {
+                benchmark: name,
+                scheduler: meta.name(),
+                lengths,
+            });
+        }
+        let lengths: Vec<u64> = paper_configs()
+            .iter()
+            .map(|(_, r)| {
+                list_schedule(&g, r, Priority::CriticalPath)
+                    .expect("benchmark schedules")
+                    .length(&g)
+            })
+            .collect();
+        rows.push(Fig3Row {
+            benchmark: name,
+            scheduler: "list sched",
+            lengths,
+        });
+    }
+    rows
+}
+
+/// Formats the regenerated table side by side with the paper's values.
+pub fn report(rows: &[Fig3Row]) -> String {
+    let paper = paper_values();
+    let configs = paper_configs();
+    let mut header = vec!["BM".to_string(), "Sched. Alg.".to_string()];
+    for (label, _) in &configs {
+        header.push(format!("{label} (meas)"));
+        header.push("(paper)".to_string());
+    }
+    let mut out_rows = Vec::new();
+    for row in rows {
+        let bench_idx = paper
+            .iter()
+            .position(|(n, _)| *n == row.benchmark)
+            .expect("benchmark in paper table");
+        let sched_idx = match row.scheduler {
+            "meta sched1" => 0,
+            "meta sched2" => 1,
+            "meta sched3" => 2,
+            "meta sched4" => 3,
+            _ => 4,
+        };
+        let mut cells = vec![row.benchmark.to_string(), row.scheduler.to_string()];
+        for (c, &len) in row.lengths.iter().enumerate() {
+            cells.push(len.to_string());
+            cells.push(paper[bench_idx].1[sched_idx][c].to_string());
+        }
+        out_rows.push(cells);
+    }
+    crate::render_table(&header, &out_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_row_matches_the_paper_exactly() {
+        let g = bench_graphs::fir();
+        for (i, (_, r)) in paper_configs().iter().enumerate() {
+            let expect = [11u64, 7, 19][i];
+            for meta in MetaSchedule::PAPER {
+                let len = threaded_length(&g, r, meta).unwrap();
+                assert_eq!(len, expect, "FIR {} config {i}", meta.name());
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_list_on_most_cells() {
+        // The paper's qualitative claim: with few exceptions the threaded
+        // scheduler achieves the list scheduler's length.
+        let rows = run();
+        let mut total = 0;
+        let mut matches = 0;
+        for (name, _) in bench_graphs::all() {
+            let list_row = rows
+                .iter()
+                .find(|r| r.benchmark == name && r.scheduler == "list sched")
+                .unwrap()
+                .lengths
+                .clone();
+            for r in rows.iter().filter(|r| r.benchmark == name && r.scheduler != "list sched") {
+                for (c, &len) in r.lengths.iter().enumerate() {
+                    total += 1;
+                    if len <= list_row[c] + 1 {
+                        matches += 1;
+                    }
+                    assert!(
+                        len + 2 >= list_row[c],
+                        "{name}/{}: threaded much better than list?",
+                        r.scheduler
+                    );
+                }
+            }
+        }
+        assert!(
+            matches * 10 >= total * 9,
+            "threaded should be within one step of list on ≥90% of cells ({matches}/{total})"
+        );
+    }
+
+    #[test]
+    fn report_contains_all_rows() {
+        let rows = run();
+        let text = report(&rows);
+        for s in ["HAL", "AR", "EF", "FIR", "meta sched1", "list sched"] {
+            assert!(text.contains(s), "{s} missing");
+        }
+    }
+}

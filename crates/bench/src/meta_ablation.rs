@@ -1,0 +1,169 @@
+//! Meta-schedule sensitivity ablation (extends the paper's Section 5).
+//!
+//! Theoretically, online optimality does not bound the quality of a
+//! from-scratch schedule under an *arbitrary* meta order; the paper
+//! observes that "many meta schedules lead to results comparable to the
+//! traditional list scheduler". This study quantifies that: for each
+//! benchmark it compares the four paper meta schedules against a
+//! population of random (topologically-valid and fully random) orders.
+
+use hls_ir::{bench_graphs, PrecedenceGraph, ResourceSet};
+#[cfg(test)]
+use hls_ir::algo;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use threaded_sched::{meta::MetaSchedule, ThreadedScheduler};
+
+/// Ablation result for one benchmark.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// List-scheduler length (the reference).
+    pub list: u64,
+    /// Lengths under meta schedules 1–4.
+    pub paper_metas: [u64; 4],
+    /// Min/mean/max over `samples` random topological orders.
+    pub random_topo: (u64, f64, u64),
+    /// Min/mean/max over `samples` fully random permutations.
+    pub random_any: (u64, f64, u64),
+}
+
+fn run_order(g: &PrecedenceGraph, r: &ResourceSet, order: &[hls_ir::OpId]) -> u64 {
+    let mut ts = ThreadedScheduler::new(g.clone(), r.clone()).expect("valid benchmark");
+    ts.schedule_all(order.iter().copied()).expect("schedulable");
+    ts.diameter()
+}
+
+fn random_topo_order(g: &PrecedenceGraph, seed: u64) -> Vec<hls_ir::OpId> {
+    // Kahn with a randomly shuffled ready set.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indeg: Vec<usize> = g.op_ids().map(|v| g.preds(v).len()).collect();
+    let mut ready: Vec<hls_ir::OpId> = g.op_ids().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(g.len());
+    while !ready.is_empty() {
+        ready.shuffle(&mut rng);
+        let v = ready.pop().expect("nonempty");
+        order.push(v);
+        for &q in g.succs(v) {
+            indeg[q.index()] -= 1;
+            if indeg[q.index()] == 0 {
+                ready.push(q);
+            }
+        }
+    }
+    order
+}
+
+fn stats(lengths: &[u64]) -> (u64, f64, u64) {
+    let min = lengths.iter().copied().min().unwrap_or(0);
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mean = lengths.iter().sum::<u64>() as f64 / lengths.len().max(1) as f64;
+    (min, mean, max)
+}
+
+/// Runs the ablation with `samples` random orders per population.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to schedule (cannot happen with the
+/// shipped set).
+pub fn run(resources: &ResourceSet, samples: u64) -> Vec<AblationRow> {
+    bench_graphs::all()
+        .into_iter()
+        .map(|(name, g)| {
+            let list = hls_baselines::list_schedule(
+                &g,
+                resources,
+                hls_baselines::Priority::CriticalPath,
+            )
+            .expect("schedulable")
+            .length(&g);
+            let mut paper_metas = [0u64; 4];
+            for (i, m) in MetaSchedule::PAPER.into_iter().enumerate() {
+                let order = m.order(&g, resources).expect("valid meta order");
+                paper_metas[i] = run_order(&g, resources, &order);
+            }
+            let topo: Vec<u64> = (0..samples)
+                .map(|s| run_order(&g, resources, &random_topo_order(&g, s)))
+                .collect();
+            let any: Vec<u64> = (0..samples)
+                .map(|s| {
+                    let order = MetaSchedule::Random(s).order(&g, resources).expect("valid");
+                    run_order(&g, resources, &order)
+                })
+                .collect();
+            AblationRow {
+                benchmark: name,
+                list,
+                paper_metas,
+                random_topo: stats(&topo),
+                random_any: stats(&any),
+            }
+        })
+        .collect()
+}
+
+/// Formats the ablation table.
+pub fn report(rows: &[AblationRow]) -> String {
+    let header = vec![
+        "BM".to_string(),
+        "list".to_string(),
+        "meta1".to_string(),
+        "meta2".to_string(),
+        "meta3".to_string(),
+        "meta4".to_string(),
+        "rand-topo min/mean/max".to_string(),
+        "rand-any min/mean/max".to_string(),
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                r.list.to_string(),
+                r.paper_metas[0].to_string(),
+                r.paper_metas[1].to_string(),
+                r.paper_metas[2].to_string(),
+                r.paper_metas[3].to_string(),
+                format!("{}/{:.1}/{}", r.random_topo.0, r.random_topo.1, r.random_topo.2),
+                format!("{}/{:.1}/{}", r.random_any.0, r.random_any.1, r.random_any.2),
+            ]
+        })
+        .collect();
+    crate::render_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_rows_are_lower_bounded_by_critical_path() {
+        let rows = run(&ResourceSet::classic(2, 2), 3);
+        for (row, (_, g)) in rows.iter().zip(bench_graphs::all()) {
+            let cp = algo::diameter(&g);
+            assert!(row.list >= cp);
+            for &len in &row.paper_metas {
+                assert!(len >= cp, "{}: below critical path", row.benchmark);
+            }
+            assert!(row.random_topo.0 >= cp);
+            assert!(row.random_any.0 >= cp);
+        }
+    }
+
+    #[test]
+    fn random_topo_orders_are_valid_permutations() {
+        let g = bench_graphs::hal();
+        let order = random_topo_order(&g, 7);
+        assert_eq!(order.len(), g.len());
+        let mut pos = vec![0usize; g.len()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (p, q) in g.edges() {
+            assert!(pos[p.index()] < pos[q.index()]);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The naive speculative scheduler the paper describes — and rejects —
+//! in Section 4.2.
+//!
+//! For every candidate position it *speculatively* commits the operation,
+//! recomputes the diameter of the whole resulting state, and undoes the
+//! change; the position with the smallest resulting diameter wins. This
+//! costs `O(|V|)` positions × `O(|V| · K)` evaluation per scheduled
+//! operation versus Algorithm 1's single `O(|V| · K)` pass.
+//!
+//! It is retained for two purposes:
+//!
+//! * **optimality oracle** — Theorem 2 says Algorithm 1's `select`
+//!   reaches the same minimal diameter; the property tests check this on
+//!   every step of randomised runs;
+//! * **complexity baseline** — the Theorem 3 benchmark plots both
+//!   schedulers' scaling.
+
+use crate::{soft::OnlineScheduler, soft::StateSnapshot, Placement, SchedError, ThreadedScheduler};
+use hls_ir::{OpId, PrecedenceGraph, ResourceClass, ResourceSet};
+
+/// Exhaustive-speculation scheduler with the same state semantics as
+/// [`ThreadedScheduler`].
+#[derive(Clone, Debug)]
+pub struct ExhaustiveScheduler {
+    inner: ThreadedScheduler,
+}
+
+impl ExhaustiveScheduler {
+    /// Creates an exhaustive scheduler over `g`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedScheduler::new`].
+    pub fn new(g: PrecedenceGraph, resources: ResourceSet) -> Result<Self, SchedError> {
+        Ok(ExhaustiveScheduler {
+            inner: ThreadedScheduler::new(g, resources)?,
+        })
+    }
+
+    /// The wrapped threaded state.
+    pub fn inner(&self) -> &ThreadedScheduler {
+        &self.inner
+    }
+
+    /// Schedules `v` at the position whose *speculative commit* yields
+    /// the smallest state diameter. Returns the chosen placement and that
+    /// diameter.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedScheduler::schedule`].
+    pub fn schedule(&mut self, v: OpId) -> Result<(Placement, u64), SchedError> {
+        if self.inner.is_scheduled(v) {
+            let p = self.inner.schedule(v)?;
+            return Ok((p, self.inner.diameter()));
+        }
+        if self.inner.graph().kind(v).resource_class() == ResourceClass::Wire {
+            let p = self.inner.schedule(v)?;
+            return Ok((p, self.inner.diameter()));
+        }
+        let mut best: Option<(u64, Placement)> = None;
+        for p in self.inner.feasible_placements(v)? {
+            let mut spec = self.inner.clone();
+            spec.commit(p, v);
+            let d = spec.diameter();
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, p));
+            }
+        }
+        let (d, p) = best.ok_or_else(|| {
+            SchedError::NoCompatibleUnit(v, self.inner.graph().kind(v))
+        })?;
+        self.inner.commit(p, v);
+        Ok((p, d))
+    }
+
+    /// Schedules every operation of `order` in sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error.
+    pub fn schedule_all(
+        &mut self,
+        order: impl IntoIterator<Item = OpId>,
+    ) -> Result<(), SchedError> {
+        for v in order {
+            self.schedule(v)?;
+        }
+        Ok(())
+    }
+
+    /// Current state diameter.
+    pub fn diameter(&self) -> u64 {
+        self.inner.diameter()
+    }
+}
+
+impl OnlineScheduler for ExhaustiveScheduler {
+    fn schedule_op(&mut self, v: OpId) -> Result<(), SchedError> {
+        self.schedule(v).map(|_| ())
+    }
+
+    fn is_scheduled(&self, v: OpId) -> bool {
+        self.inner.is_scheduled(v)
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn state_diameter(&self) -> u64 {
+        self.inner.diameter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::MetaSchedule;
+    use hls_ir::bench_graphs;
+
+    /// Theorem 2 on the benchmarks: at every step, Algorithm 1's `select`
+    /// reaches the same minimal next-state diameter as exhaustive
+    /// speculation over the *same* state. (Two independently evolving
+    /// greedy trajectories may tie-break into different states, so the
+    /// comparison must share the state.)
+    #[test]
+    fn theorem2_select_matches_exhaustive_on_benchmarks() {
+        use crate::ThreadedScheduler;
+        for (name, g) in bench_graphs::all() {
+            let r = ResourceSet::classic(2, 2);
+            let order = MetaSchedule::Topological.order(&g, &r).unwrap();
+            let mut ts = ThreadedScheduler::new(g, r).unwrap();
+            for &v in &order {
+                let oracle_best: u64 = ts
+                    .feasible_placements(v)
+                    .unwrap()
+                    .into_iter()
+                    .map(|p| {
+                        let mut spec = ts.clone();
+                        spec.commit(p, v);
+                        spec.diameter()
+                    })
+                    .min()
+                    .unwrap();
+                ts.schedule(v).unwrap();
+                assert_eq!(ts.diameter(), oracle_best, "{name}: diverged at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_is_idempotent_too() {
+        let f = bench_graphs::fig1();
+        let mut ex = ExhaustiveScheduler::new(f.graph, ResourceSet::uniform(2)).unwrap();
+        ex.schedule(f.v[0]).unwrap();
+        let d1 = ex.diameter();
+        ex.schedule(f.v[0]).unwrap();
+        assert_eq!(ex.diameter(), d1);
+        assert!(ex.is_scheduled(f.v[0]));
+    }
+
+    #[test]
+    fn exhaustive_handles_wire_ops() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(hls_ir::OpKind::Add, 1, "a");
+        let w = g.add_op(hls_ir::OpKind::WireDelay, 2, "w");
+        g.add_edge(a, w).unwrap();
+        let mut ex = ExhaustiveScheduler::new(g, ResourceSet::uniform(1)).unwrap();
+        ex.schedule_all([a, w]).unwrap();
+        assert_eq!(ex.diameter(), 3);
+    }
+}

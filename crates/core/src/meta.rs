@@ -1,0 +1,175 @@
+//! Meta schedules (Section 5 of the paper).
+//!
+//! A procedural schedule is a pair of meta schedule and online schedule
+//! (Definition 2). The meta schedule only chooses the *order* in which
+//! operations are fed to the online scheduler; the paper evaluates four:
+//!
+//! 1. depth-first order of the precedence graph,
+//! 2. a topological order,
+//! 3. a longest-path partition, paths fed longest first,
+//! 4. the order in which a list scheduler would issue the operations.
+//!
+//! [`MetaSchedule::Random`] adds seeded random permutations for the
+//! meta-sensitivity ablation (not part of the paper's table).
+
+use crate::SchedError;
+use hls_ir::{algo, OpId, PrecedenceGraph, ResourceSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An operation ordering policy for feeding the online scheduler.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MetaSchedule {
+    /// Meta schedule 1: depth-first traversal of the precedence graph.
+    Dfs,
+    /// Meta schedule 2: a topological order.
+    Topological,
+    /// Meta schedule 3: longest-path partition, longest paths first.
+    PathBased,
+    /// Meta schedule 4: list-scheduling issue order (needs the resource
+    /// set).
+    ListBased,
+    /// A seeded random permutation (ablation only; may be
+    /// non-topological).
+    Random(u64),
+}
+
+impl MetaSchedule {
+    /// The four meta schedules evaluated in the paper's Figure 3, in row
+    /// order.
+    pub const PAPER: [MetaSchedule; 4] = [
+        MetaSchedule::Dfs,
+        MetaSchedule::Topological,
+        MetaSchedule::PathBased,
+        MetaSchedule::ListBased,
+    ];
+
+    /// The name used in reports (matching the paper's table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaSchedule::Dfs => "meta sched1",
+            MetaSchedule::Topological => "meta sched2",
+            MetaSchedule::PathBased => "meta sched3",
+            MetaSchedule::ListBased => "meta sched4",
+            MetaSchedule::Random(_) => "meta random",
+        }
+    }
+
+    /// Computes the operation order for `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Ir`] for cyclic graphs and
+    /// [`SchedError::Baseline`] if the list scheduler behind
+    /// [`MetaSchedule::ListBased`] fails (e.g. missing unit classes).
+    pub fn order(
+        self,
+        g: &PrecedenceGraph,
+        resources: &ResourceSet,
+    ) -> Result<Vec<OpId>, SchedError> {
+        g.validate()?;
+        let order = match self {
+            MetaSchedule::Dfs => algo::dfs_order(g),
+            MetaSchedule::Topological => algo::topo_order(g)?,
+            MetaSchedule::PathBased => algo::longest_path_partition(g)
+                .into_iter()
+                .flatten()
+                .collect(),
+            MetaSchedule::ListBased => {
+                hls_baselines::list_schedule(g, resources, hls_baselines::Priority::CriticalPath)
+                    .map_err(|e| SchedError::Baseline(e.to_string()))?
+                    .order
+            }
+            MetaSchedule::Random(seed) => {
+                let mut order: Vec<OpId> = g.op_ids().collect();
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
+                order
+            }
+        };
+        debug_assert_eq!(order.len(), g.len());
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::bench_graphs;
+
+    fn is_permutation(g: &PrecedenceGraph, order: &[OpId]) -> bool {
+        let mut seen = vec![false; g.len()];
+        for v in order {
+            if seen[v.index()] {
+                return false;
+            }
+            seen[v.index()] = true;
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn all_meta_schedules_are_permutations() {
+        let g = bench_graphs::hal();
+        let r = ResourceSet::classic(2, 2);
+        for m in MetaSchedule::PAPER.into_iter().chain([MetaSchedule::Random(3)]) {
+            let order = m.order(&g, &r).unwrap();
+            assert!(is_permutation(&g, &order), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn topological_meta_respects_edges() {
+        let g = bench_graphs::ewf();
+        let order = MetaSchedule::Topological
+            .order(&g, &ResourceSet::uniform(2))
+            .unwrap();
+        let mut pos = vec![0usize; g.len()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (p, q) in g.edges() {
+            assert!(pos[p.index()] < pos[q.index()]);
+        }
+    }
+
+    #[test]
+    fn path_based_feeds_critical_path_first() {
+        let g = bench_graphs::hal();
+        let order = MetaSchedule::PathBased
+            .order(&g, &ResourceSet::uniform(2))
+            .unwrap();
+        let cp = algo::critical_path(&g);
+        // The first fed path carries the full critical-path weight (the
+        // exact vertices may differ when several critical paths tie).
+        let fed: u64 = order[..cp.len()].iter().map(|&v| g.delay(v)).sum();
+        assert_eq!(fed, algo::diameter(&g));
+        for pair in order[..cp.len()].windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn list_based_requires_units() {
+        let g = bench_graphs::hal();
+        let err = MetaSchedule::ListBased.order(&g, &ResourceSet::classic(2, 0));
+        assert!(matches!(err, Err(SchedError::Baseline(_))));
+    }
+
+    #[test]
+    fn random_orders_differ_by_seed_but_not_by_run() {
+        let g = bench_graphs::ewf();
+        let r = ResourceSet::uniform(2);
+        let a1 = MetaSchedule::Random(1).order(&g, &r).unwrap();
+        let a2 = MetaSchedule::Random(1).order(&g, &r).unwrap();
+        let b = MetaSchedule::Random(2).order(&g, &r).unwrap();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        assert_eq!(MetaSchedule::Dfs.name(), "meta sched1");
+        assert_eq!(MetaSchedule::ListBased.name(), "meta sched4");
+    }
+}

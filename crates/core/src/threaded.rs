@@ -1,0 +1,1209 @@
+//! The threaded scheduler — Algorithm 1 of the paper.
+//!
+//! The scheduling state is a *threaded graph* (Definition 4): its vertices
+//! are partitioned into `K` threads — one per functional unit — such that
+//! each thread is totally ordered. Internally every thread is a doubly
+//! linked chain between two sentinels (`s[k]`, `t[k]`, exactly as in the
+//! paper's `ThreadedGraph` constructor), and every vertex keeps at most
+//! one incoming and one outgoing *cross edge per thread* (the compression
+//! that yields the degree bound of Lemma 7 and the linear complexity of
+//! Theorem 3).
+//!
+//! Three clarifications relative to the paper's pseudocode are documented
+//! in `DESIGN.md` §3: the inclusive distance convention, the per-thread
+//! *feasible window* (computed from the state order, not just immediate
+//! chain neighbours) and tight-edge hygiene in `commit` when several
+//! ancestors share a thread.
+
+use crate::{SchedError, soft::StateSnapshot};
+use hls_ir::{
+    algo, BitMatrix, HardSchedule, OpId, OpKind, PrecedenceGraph, ResourceClass, ResourceSet,
+};
+
+/// Where `select` decided to put an operation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// Thread (functional-unit) index.
+    pub thread: usize,
+    /// The operation after which the new vertex is inserted; `None` means
+    /// the head of the thread (right after the `s[k]` sentinel).
+    pub after: Option<OpId>,
+    /// The distance `‖←v→‖` the new vertex will have — by Theorem 2 also
+    /// the diameter of the new state if it exceeds the old diameter.
+    pub cost: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Per thread `j`: the node in thread `j` with an edge into this node.
+    inc: Vec<Option<u32>>,
+    /// Per thread `j`: the node in thread `j` this node has an edge to.
+    out: Vec<Option<u32>>,
+    thread: usize,
+    /// Chain position; consecutive integers, renumbered after insertion.
+    pos: u64,
+    sdist: u64,
+    tdist: u64,
+    delay: u64,
+}
+
+impl Node {
+    fn new(threads: usize, thread: usize, delay: u64) -> Self {
+        Node {
+            inc: vec![None; threads],
+            out: vec![None; threads],
+            thread,
+            pos: 0,
+            sdist: 0,
+            tdist: 0,
+            delay,
+        }
+    }
+}
+
+/// The threaded (soft) scheduler: an online automaton that adds one
+/// operation at a time to a threaded scheduling state.
+///
+/// See the [crate docs](crate) and the paper's Section 4. The scheduler
+/// owns a working copy of the precedence graph so that [`refinement
+/// operations`](Self::refine_splice) can extend the behavior (spill code,
+/// wire delays) and the state coherently.
+#[derive(Clone, Debug)]
+pub struct ThreadedScheduler {
+    g: PrecedenceGraph,
+    /// Strict ancestors per op (row `v` = `{p : p ≺_G v}`).
+    anc: BitMatrix,
+    /// Strict descendants per op.
+    desc: BitMatrix,
+    resources: ResourceSet,
+    nodes: Vec<Node>,
+    /// Per thread: source/sink sentinel node indices.
+    sent_s: Vec<u32>,
+    sent_t: Vec<u32>,
+    /// Per op: its node, if scheduled.
+    node_of: Vec<Option<u32>>,
+    /// Per node: its op (`None` for sentinels).
+    op_of: Vec<Option<OpId>>,
+    /// Number of threads (resource units plus wire singleton threads).
+    threads: usize,
+    history: Vec<OpId>,
+}
+
+impl ThreadedScheduler {
+    /// Creates a scheduler over `g` with one thread per unit of
+    /// `resources`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Ir`] if `g` is cyclic.
+    pub fn new(g: PrecedenceGraph, resources: ResourceSet) -> Result<Self, SchedError> {
+        g.validate()?;
+        let (anc, desc) = closures(&g);
+        let k = resources.k();
+        let mut ts = ThreadedScheduler {
+            node_of: vec![None; g.len()],
+            g,
+            anc,
+            desc,
+            resources,
+            nodes: Vec::with_capacity(2 * k),
+            sent_s: Vec::with_capacity(k),
+            sent_t: Vec::with_capacity(k),
+            op_of: Vec::new(),
+            threads: 0,
+            history: Vec::new(),
+        };
+        for _ in 0..k {
+            ts.push_thread();
+        }
+        Ok(ts)
+    }
+
+    /// The scheduler's working copy of the precedence graph (grows under
+    /// refinement).
+    pub fn graph(&self) -> &PrecedenceGraph {
+        &self.g
+    }
+
+    /// The functional-unit allocation.
+    pub fn resources(&self) -> &ResourceSet {
+        &self.resources
+    }
+
+    /// Current number of threads, including wire singleton threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` if `v` is already in the scheduling state.
+    pub fn is_scheduled(&self, v: OpId) -> bool {
+        self.node_of.get(v.index()).copied().flatten().is_some()
+    }
+
+    /// Number of scheduled operations.
+    pub fn scheduled_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The operations in the order they were scheduled.
+    pub fn history(&self) -> &[OpId] {
+        &self.history
+    }
+
+    /// The thread of a scheduled operation.
+    pub fn thread_of(&self, v: OpId) -> Option<usize> {
+        self.node_of
+            .get(v.index())
+            .copied()
+            .flatten()
+            .map(|n| self.nodes[n as usize].thread)
+    }
+
+    /// The operations of thread `k` in chain order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.thread_count()`.
+    pub fn chain(&self, k: usize) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[self.sent_s[k] as usize].out[k];
+        while let Some(n) = cur {
+            if n == self.sent_t[k] {
+                break;
+            }
+            out.push(self.op_of[n as usize].expect("chain nodes are real ops"));
+            cur = self.nodes[n as usize].out[k];
+        }
+        out
+    }
+
+    /// The diameter `‖S‖` of the scheduling state — the critical-path
+    /// delay-sum including all artificial serialisation edges. By
+    /// Lemma 4 this is monotone under scheduling.
+    pub fn diameter(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sdist).max().unwrap_or(0)
+    }
+
+    /// Schedules one operation: `select` then `commit` (the paper's
+    /// `schedule` method). Scheduling an operation already in the state
+    /// is a no-op returning its current placement (Definition 3's
+    /// incremental condition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::UnknownOp`] for out-of-range ids and
+    /// [`SchedError::NoCompatibleUnit`] if no thread can execute the
+    /// operation.
+    pub fn schedule(&mut self, v: OpId) -> Result<Placement, SchedError> {
+        if v.index() >= self.g.len() {
+            return Err(SchedError::UnknownOp(v));
+        }
+        if let Some(n) = self.node_of[v.index()] {
+            let node = &self.nodes[n as usize];
+            let after = self.chain_pred_op(n);
+            return Ok(Placement {
+                thread: node.thread,
+                after,
+                cost: node.sdist + node.tdist - node.delay,
+            });
+        }
+        if self.g.kind(v).resource_class() == ResourceClass::Wire {
+            return self.schedule_wire(v);
+        }
+        let placement = self.select(v)?;
+        self.commit(placement, v);
+        Ok(placement)
+    }
+
+    /// Schedules every operation of `order` in sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SchedError`] encountered.
+    pub fn schedule_all(
+        &mut self,
+        order: impl IntoIterator<Item = OpId>,
+    ) -> Result<(), SchedError> {
+        for v in order {
+            self.schedule(v)?;
+        }
+        Ok(())
+    }
+
+    /// The paper's `select`: finds the feasible insertion position
+    /// minimising the distance of the new vertex — hence, by Theorem 2,
+    /// the diameter of the resulting state — in `O(K · |V_S|)` time,
+    /// without speculative commits.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedScheduler::schedule`].
+    pub fn select(&self, v: OpId) -> Result<Placement, SchedError> {
+        let mut best: Option<Placement> = None;
+        self.for_each_feasible(v, |p| {
+            if best.is_none_or(|b| p.cost < b.cost) {
+                best = Some(p);
+            }
+        })?;
+        best.ok_or(SchedError::NoCompatibleUnit(v, self.g.kind(v)))
+    }
+
+    /// Like [`ThreadedScheduler::select`], but among cost-tied optimal
+    /// positions prefers the *last* one in scan order (latest chain
+    /// position). Online optimality is unaffected (Theorem 2 fixes only
+    /// the cost); the bias matters for register pressure: spill reloads
+    /// scheduled late keep their values in memory longest.
+    pub fn select_late(&self, v: OpId) -> Result<Placement, SchedError> {
+        let mut best: Option<Placement> = None;
+        self.for_each_feasible(v, |p| {
+            if best.is_none_or(|b| p.cost <= b.cost) {
+                best = Some(p);
+            }
+        })?;
+        best.ok_or(SchedError::NoCompatibleUnit(v, self.g.kind(v)))
+    }
+
+    /// Schedules `v` at the latest cost-optimal position (see
+    /// [`ThreadedScheduler::select_late`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedScheduler::schedule`].
+    pub fn schedule_late(&mut self, v: OpId) -> Result<Placement, SchedError> {
+        if v.index() >= self.g.len() {
+            return Err(SchedError::UnknownOp(v));
+        }
+        if self.is_scheduled(v) {
+            return self.schedule(v);
+        }
+        if self.g.kind(v).resource_class() == ResourceClass::Wire {
+            return self.schedule_wire(v);
+        }
+        let placement = self.select_late(v)?;
+        self.commit(placement, v);
+        Ok(placement)
+    }
+
+    /// Every feasible placement for `v` with its cost, in deterministic
+    /// (thread, position) order. Used by the exhaustive oracle and by
+    /// tests of Theorem 2.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedScheduler::schedule`].
+    pub fn feasible_placements(&self, v: OpId) -> Result<Vec<Placement>, SchedError> {
+        let mut out = Vec::new();
+        self.for_each_feasible(v, |p| out.push(p))?;
+        Ok(out)
+    }
+
+    /// Commits a placement produced by [`ThreadedScheduler::select`] or
+    /// [`ThreadedScheduler::feasible_placements`] — the paper's `commit`
+    /// with the Figure 2 update rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement refers to an unknown thread or an
+    /// operation that is not in that thread (placements must come from
+    /// this scheduler's `select`/`feasible_placements` on the current
+    /// state).
+    pub fn commit(&mut self, placement: Placement, v: OpId) {
+        assert!(placement.thread < self.threads, "unknown thread");
+        let k = placement.thread;
+        let pos_node = match placement.after {
+            None => self.sent_s[k],
+            Some(op) => {
+                let n = self.node_of[op.index()].expect("placement.after must be scheduled");
+                assert_eq!(self.nodes[n as usize].thread, k, "after-op not in thread");
+                n
+            }
+        };
+        let n = self.new_node(k, self.g.delay(v));
+
+        // Chain insertion after pos_node.
+        let next = self.nodes[pos_node as usize].out[k].expect("chain is closed by sentinels");
+        self.nodes[n as usize].out[k] = Some(next);
+        self.nodes[next as usize].inc[k] = Some(n);
+        self.nodes[pos_node as usize].out[k] = Some(n);
+        self.nodes[n as usize].inc[k] = Some(pos_node);
+        self.renumber_chain(k);
+
+        self.node_of[v.index()] = Some(n);
+        self.op_of[n as usize] = Some(v);
+
+        // Figure 2 rules, predecessors then successors.
+        let preds: Vec<u32> = self.scheduled_ancestors(v);
+        for p in preds {
+            self.apply_pred_rule(p, n, k);
+        }
+        let succs: Vec<u32> = self.scheduled_descendants(v);
+        for q in succs {
+            self.apply_succ_rule(q, n, k);
+        }
+
+        self.history.push(v);
+        self.relabel();
+    }
+
+    /// Extracts the hard schedule implied by the current state: every
+    /// scheduled operation starts at `sdist − delay` (the ASAP schedule of
+    /// the threaded graph; resource exclusion is already encoded in the
+    /// thread chains). Unscheduled operations are left unassigned.
+    pub fn extract_hard(&self) -> HardSchedule {
+        let mut sched = HardSchedule::new(self.g.len());
+        for v in self.g.op_ids() {
+            if let Some(n) = self.node_of[v.index()] {
+                let node = &self.nodes[n as usize];
+                let unit = if node.thread < self.resources.k() {
+                    Some(node.thread)
+                } else {
+                    None
+                };
+                sched.assign(v, node.sdist - node.delay, unit);
+            }
+        }
+        // Spill reloads issue as late as their state slack allows, so
+        // the spilled value stays in background memory instead of a
+        // register. Pushing a Load to `min(successor starts) − delay`
+        // respects every state edge (including the memory-port chain),
+        // so the schedule stays legal.
+        for v in self.g.op_ids() {
+            if self.g.kind(v) != OpKind::Load {
+                continue;
+            }
+            let Some(n) = self.node_of[v.index()] else { continue };
+            let node = &self.nodes[n as usize];
+            let mut latest = u64::MAX;
+            for j in 0..self.threads {
+                if let Some(m) = node.out[j] {
+                    if let Some(succ) = self.op_of[m as usize] {
+                        let s = sched.start(succ).expect("state successors are scheduled");
+                        latest = latest.min(s);
+                    }
+                }
+            }
+            if latest != u64::MAX {
+                let asap = node.sdist - node.delay;
+                let alap = latest.saturating_sub(node.delay);
+                if alap > asap {
+                    let unit = sched.unit(v);
+                    sched.assign(v, alap, unit);
+                }
+            }
+        }
+        sched
+    }
+
+    /// Exports the scheduling state as a plain precedence graph plus
+    /// thread assignment (Definition 6: the subgraph spanned by
+    /// `V \ s \ t`).
+    pub fn snapshot(&self) -> StateSnapshot {
+        let mut graph = PrecedenceGraph::with_capacity(self.history.len());
+        let mut ops = Vec::with_capacity(self.history.len());
+        let mut threads = Vec::with_capacity(self.history.len());
+        let mut snap_of = vec![usize::MAX; self.nodes.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            let Some(op) = self.op_of[n] else { continue };
+            let id = graph.add_op(self.g.kind(op), node.delay, self.g.label(op));
+            snap_of[n] = id.index();
+            ops.push(op);
+            threads.push(node.thread);
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            if self.op_of[n].is_none() {
+                continue;
+            }
+            for j in 0..self.threads {
+                if let Some(m) = node.out[j] {
+                    if self.op_of[m as usize].is_some() {
+                        let from = OpId::from_index(snap_of[n]);
+                        let to = OpId::from_index(snap_of[m as usize]);
+                        graph.add_edge(from, to).expect("state edges are valid");
+                    }
+                }
+            }
+        }
+        StateSnapshot { graph, ops, threads }
+    }
+
+    /// Splices a chain of new operations onto the edge `from -> to` of the
+    /// behavior *and* schedules them, in order — the soft-scheduling
+    /// refinement of the paper's Figure 1(c)/(d) (spill code, wire
+    /// delays). Returns the new operation ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Ir`] if `from -> to` is not an edge, plus the
+    /// scheduling errors of [`ThreadedScheduler::schedule`].
+    pub fn refine_splice(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        chain: impl IntoIterator<Item = (OpKind, u64, String)>,
+    ) -> Result<Vec<OpId>, SchedError> {
+        let inserted = self.g.splice_on_edge(from, to, chain)?;
+        self.sync_graph_growth();
+        for &v in &inserted {
+            // Reloads go as late as their slack allows so the spilled
+            // value stays in memory, not in a register; everything else
+            // keeps the default (earliest-optimal) tie-break.
+            if self.g.kind(v) == OpKind::Load {
+                self.schedule_late(v)?;
+            } else {
+                self.schedule(v)?;
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Adds a brand-new operation with the given dependencies to the
+    /// behavior and schedules it (an engineering change / ECO).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::WouldCycle`] if the new edges close a cycle,
+    /// plus the scheduling errors of [`ThreadedScheduler::schedule`].
+    pub fn refine_add_op(
+        &mut self,
+        kind: OpKind,
+        delay: u64,
+        label: impl Into<String>,
+        preds: &[OpId],
+        succs: &[OpId],
+    ) -> Result<OpId, SchedError> {
+        let v = self.g.add_op(kind, delay, label);
+        for &p in preds {
+            self.g.add_edge(p, v)?;
+        }
+        for &q in succs {
+            self.g.add_edge(v, q)?;
+        }
+        if self.g.validate().is_err() {
+            return Err(SchedError::WouldCycle(v));
+        }
+        self.sync_graph_growth();
+        self.schedule(v)?;
+        Ok(v)
+    }
+
+    /// Renders the scheduling state as a DOT digraph: one colour per
+    /// thread, solid edges for the thread chains, dashed edges for cross
+    /// (dependence/serialisation) edges. Sentinels are omitted.
+    pub fn state_to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        const COLORS: [&str; 8] = [
+            "lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightgrey", "orange",
+            "cyan",
+        ];
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  node [shape=box, style=filled, fontsize=10];");
+        for (n, node) in self.nodes.iter().enumerate() {
+            let Some(op) = self.op_of[n] else { continue };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{} ({})\\nthr {} @{}\", fillcolor={}];",
+                n,
+                self.g.label(op),
+                self.g.kind(op),
+                node.thread,
+                node.sdist - node.delay,
+                COLORS[node.thread % COLORS.len()],
+            );
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            if self.op_of[n].is_none() {
+                continue;
+            }
+            for j in 0..self.threads {
+                if let Some(m) = node.out[j] {
+                    if self.op_of[m as usize].is_none() {
+                        continue;
+                    }
+                    let style = if j == node.thread { "solid" } else { "dashed" };
+                    let _ = writeln!(out, "  n{n} -> n{m} [style={style}];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Changes the kind and delay of an operation in place — the SSA φ
+    /// resolution of the paper's Section 1 (a φ becomes a register move
+    /// or a void operation only after register allocation). The state's
+    /// partial order is untouched; only the labels move.
+    ///
+    /// The new kind must stay zero-resource (or match the thread the
+    /// operation already occupies); this is the caller's contract.
+    pub fn retype_op(&mut self, v: OpId, kind: OpKind, delay: u64) {
+        self.g.set_kind(v, kind);
+        self.g.set_delay(v, delay);
+        if let Some(n) = self.node_of[v.index()] {
+            self.nodes[n as usize].delay = delay;
+            self.relabel();
+        }
+    }
+
+    /// Verifies the internal invariants of the state: pointer symmetry,
+    /// chain integrity, the Lemma 7 degree bound, acyclicity, and label
+    /// freshness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let n = ni as u32;
+            if node.inc.len() != self.threads || node.out.len() != self.threads {
+                return Err(format!("node {ni}: edge arrays not sized to K"));
+            }
+            for j in 0..self.threads {
+                if let Some(m) = node.out[j] {
+                    let mn = &self.nodes[m as usize];
+                    if mn.thread != j {
+                        return Err(format!("node {ni}: out[{j}] lands in thread {}", mn.thread));
+                    }
+                    if mn.inc[node.thread] != Some(n) {
+                        return Err(format!("node {ni}: out[{j}] not mirrored by inc"));
+                    }
+                }
+                if let Some(m) = node.inc[j] {
+                    let mn = &self.nodes[m as usize];
+                    if mn.thread != j {
+                        return Err(format!("node {ni}: inc[{j}] from thread {}", mn.thread));
+                    }
+                    if mn.out[node.thread] != Some(n) {
+                        return Err(format!("node {ni}: inc[{j}] not mirrored by out"));
+                    }
+                }
+            }
+        }
+        for k in 0..self.threads {
+            let mut cur = self.sent_s[k];
+            let mut last_pos = self.nodes[cur as usize].pos;
+            let mut count = 0usize;
+            loop {
+                let Some(next) = self.nodes[cur as usize].out[k] else {
+                    if cur != self.sent_t[k] {
+                        return Err(format!("thread {k}: chain does not end at sentinel"));
+                    }
+                    break;
+                };
+                let np = self.nodes[next as usize].pos;
+                if np <= last_pos {
+                    return Err(format!("thread {k}: positions not increasing"));
+                }
+                last_pos = np;
+                cur = next;
+                count += 1;
+                if count > self.nodes.len() {
+                    return Err(format!("thread {k}: chain cycle"));
+                }
+            }
+            let members = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, nd)| nd.thread == k && self.op_of[*i].is_some())
+                .count();
+            if members + 1 != count {
+                return Err(format!(
+                    "thread {k}: chain covers {count} hops but thread has {members} ops"
+                ));
+            }
+        }
+        // Acyclicity + label freshness via a fresh relabel comparison.
+        let mut copy = self.clone();
+        copy.relabel();
+        for (ni, (a, b)) in self.nodes.iter().zip(copy.nodes.iter()).enumerate() {
+            if a.sdist != b.sdist || a.tdist != b.tdist {
+                return Err(format!("node {ni}: stale labels"));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn push_thread(&mut self) -> usize {
+        let k = self.threads;
+        self.threads += 1;
+        for node in &mut self.nodes {
+            node.inc.push(None);
+            node.out.push(None);
+        }
+        let s = self.alloc_raw_node(k, 0);
+        let t = self.alloc_raw_node(k, 0);
+        self.nodes[s as usize].out[k] = Some(t);
+        self.nodes[t as usize].inc[k] = Some(s);
+        self.nodes[t as usize].pos = 1;
+        self.sent_s.push(s);
+        self.sent_t.push(t);
+        k
+    }
+
+    fn alloc_raw_node(&mut self, thread: usize, delay: u64) -> u32 {
+        let idx = u32::try_from(self.nodes.len()).expect("node count exceeds u32");
+        self.nodes.push(Node::new(self.threads, thread, delay));
+        self.op_of.push(None);
+        idx
+    }
+
+    fn new_node(&mut self, thread: usize, delay: u64) -> u32 {
+        self.alloc_raw_node(thread, delay)
+    }
+
+    fn chain_pred_op(&self, n: u32) -> Option<OpId> {
+        let node = &self.nodes[n as usize];
+        let prev = node.inc[node.thread].expect("real nodes have chain predecessors");
+        self.op_of[prev as usize]
+    }
+
+    fn scheduled_ancestors(&self, v: OpId) -> Vec<u32> {
+        self.anc
+            .iter_row(v.index())
+            .filter_map(|i| self.node_of[i])
+            .collect()
+    }
+
+    fn scheduled_descendants(&self, v: OpId) -> Vec<u32> {
+        self.desc
+            .iter_row(v.index())
+            .filter_map(|i| self.node_of[i])
+            .collect()
+    }
+
+    /// Wire-class operations occupy no functional unit: each becomes its
+    /// own singleton thread, keeping the state a well-formed threaded
+    /// graph (Definition 4 with a grown `K`).
+    fn schedule_wire(&mut self, v: OpId) -> Result<Placement, SchedError> {
+        let k = self.push_thread();
+        let placement = Placement {
+            thread: k,
+            after: None,
+            cost: 0,
+        };
+        self.commit(placement, v);
+        let n = self.node_of[v.index()].expect("just committed");
+        let node = &self.nodes[n as usize];
+        Ok(Placement {
+            cost: node.sdist + node.tdist - node.delay,
+            ..placement
+        })
+    }
+
+    fn for_each_feasible(
+        &self,
+        v: OpId,
+        mut f: impl FnMut(Placement),
+    ) -> Result<(), SchedError> {
+        if v.index() >= self.g.len() {
+            return Err(SchedError::UnknownOp(v));
+        }
+        let kind = self.g.kind(v);
+        let eligible: Vec<usize> = (0..self.resources.k())
+            .filter(|&k| self.resources.compatible(k, kind))
+            .collect();
+        if eligible.is_empty() {
+            return Err(SchedError::NoCompatibleUnit(v, kind));
+        }
+
+        let pred_nodes = self.scheduled_ancestors(v);
+        let succ_nodes = self.scheduled_descendants(v);
+        let intrinsic_src = pred_nodes
+            .iter()
+            .map(|&p| self.nodes[p as usize].sdist)
+            .max()
+            .unwrap_or(0);
+        let intrinsic_snk = succ_nodes
+            .iter()
+            .map(|&q| self.nodes[q as usize].tdist)
+            .max()
+            .unwrap_or(0);
+
+        // Feasible windows per thread, from the *state* order: insertion
+        // after `cur` is legal iff no state-descendant of a scheduled
+        // G-successor is at or before `cur`, and no state-ancestor of a
+        // scheduled G-predecessor is after `cur`.
+        let back = self.mark(&pred_nodes, Direction::Backward);
+        let fwd = self.mark(&succ_nodes, Direction::Forward);
+        let mut lo = vec![0u64; self.threads];
+        let mut hi = vec![u64::MAX; self.threads];
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if back[ni] {
+                lo[node.thread] = lo[node.thread].max(node.pos);
+            }
+            if fwd[ni] {
+                hi[node.thread] = hi[node.thread].min(node.pos);
+            }
+        }
+
+        let delay = self.g.delay(v);
+        for k in eligible {
+            let mut cur = self.sent_s[k];
+            loop {
+                let node = &self.nodes[cur as usize];
+                let Some(next) = node.out[k] else { break };
+                if node.pos >= lo[k] && node.pos < hi[k] {
+                    let nn = &self.nodes[next as usize];
+                    let sdist = node.sdist.max(intrinsic_src);
+                    let tdist = nn.tdist.max(intrinsic_snk);
+                    f(Placement {
+                        thread: k,
+                        after: self.op_of[cur as usize],
+                        cost: sdist + tdist + delay,
+                    });
+                }
+                cur = next;
+            }
+        }
+        Ok(())
+    }
+
+    fn mark(&self, roots: &[u32], dir: Direction) -> Vec<bool> {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for &r in roots {
+            if !marked[r as usize] {
+                marked[r as usize] = true;
+                stack.push(r);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            let edges = match dir {
+                Direction::Backward => &node.inc,
+                Direction::Forward => &node.out,
+            };
+            for &e in edges.iter().flatten() {
+                if !marked[e as usize] {
+                    marked[e as usize] = true;
+                    stack.push(e);
+                }
+            }
+        }
+        marked
+    }
+
+    /// Figure 2 rules (a)–(c): link a scheduled G-ancestor `p` to the new
+    /// node `n` in thread `k`, keeping only tightest representative edges.
+    fn apply_pred_rule(&mut self, p: u32, n: u32, k: usize) {
+        let j = self.nodes[p as usize].thread;
+        match self.nodes[p as usize].out[k] {
+            // Rule (a): existing edge to a vertex at or before `n` already
+            // implies `p ≺ n` through the chain.
+            Some(q) if q == n || self.nodes[q as usize].pos < self.nodes[n as usize].pos => {
+                return;
+            }
+            // Rule (c): the edge overshoots `n`; retarget it.
+            Some(q) => {
+                debug_assert_eq!(self.nodes[q as usize].inc[j], Some(p));
+                self.nodes[q as usize].inc[j] = None;
+                self.nodes[p as usize].out[k] = None;
+            }
+            // Rule (b): no edge into thread `k` yet.
+            None => {}
+        }
+        match self.nodes[n as usize].inc[j] {
+            Some(p2) if p2 == p => {
+                self.nodes[p as usize].out[k] = Some(n);
+            }
+            // A later vertex of thread `j` already guards `n`; `p ≺ p2 ≺ n`.
+            Some(p2) if self.nodes[p2 as usize].pos > self.nodes[p as usize].pos => {}
+            // `p` is tighter than the recorded predecessor; displace it.
+            Some(p2) => {
+                self.nodes[p2 as usize].out[k] = None;
+                self.nodes[n as usize].inc[j] = Some(p);
+                self.nodes[p as usize].out[k] = Some(n);
+            }
+            None => {
+                self.nodes[n as usize].inc[j] = Some(p);
+                self.nodes[p as usize].out[k] = Some(n);
+            }
+        }
+    }
+
+    /// Figure 2 rules (d)–(f): link the new node `n` (thread `k`) to a
+    /// scheduled G-descendant `q`.
+    fn apply_succ_rule(&mut self, q: u32, n: u32, k: usize) {
+        let j2 = self.nodes[q as usize].thread;
+        match self.nodes[q as usize].inc[k] {
+            // Rule (d): `q` already follows a vertex after `n` in thread
+            // `k`; `n ≺ u ≺ q` through the chain.
+            Some(u) if u == n || self.nodes[u as usize].pos > self.nodes[n as usize].pos => {
+                return;
+            }
+            // Rule (f): the edge comes from before `n`; retarget it.
+            Some(u) => {
+                debug_assert_eq!(self.nodes[u as usize].out[j2], Some(q));
+                self.nodes[u as usize].out[j2] = None;
+                self.nodes[q as usize].inc[k] = None;
+            }
+            // Rule (e): no edge from thread `k` yet.
+            None => {}
+        }
+        match self.nodes[n as usize].out[j2] {
+            Some(q2) if q2 == q => {
+                self.nodes[q as usize].inc[k] = Some(n);
+            }
+            // An earlier vertex of thread `j2` is already guarded;
+            // `n ≺ q2 ≺ q`.
+            Some(q2) if self.nodes[q2 as usize].pos < self.nodes[q as usize].pos => {}
+            Some(q2) => {
+                self.nodes[q2 as usize].inc[k] = None;
+                self.nodes[n as usize].out[j2] = Some(q);
+                self.nodes[q as usize].inc[k] = Some(n);
+            }
+            None => {
+                self.nodes[n as usize].out[j2] = Some(q);
+                self.nodes[q as usize].inc[k] = Some(n);
+            }
+        }
+    }
+
+    fn renumber_chain(&mut self, k: usize) {
+        let mut pos = 0u64;
+        let mut cur = self.sent_s[k];
+        loop {
+            self.nodes[cur as usize].pos = pos;
+            pos += 1;
+            match self.nodes[cur as usize].out[k] {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+    }
+
+    /// The paper's `forwardLabel` / `backwardLabel`: recomputes `sdist`
+    /// and `tdist` for every node by one topological pass each. Linear in
+    /// the state size times `K` (Lemma 7 bounds the degree by `K`).
+    fn relabel(&mut self) {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|nd| nd.inc.iter().flatten().count())
+            .collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut head = 0;
+        let mut topo: Vec<u32> = Vec::with_capacity(n);
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            topo.push(i);
+            let best = self.nodes[i as usize]
+                .inc
+                .iter()
+                .flatten()
+                .map(|&p| self.nodes[p as usize].sdist)
+                .max()
+                .unwrap_or(0);
+            self.nodes[i as usize].sdist = best + self.nodes[i as usize].delay;
+            for j in 0..self.threads {
+                if let Some(m) = self.nodes[i as usize].out[j] {
+                    indeg[m as usize] -= 1;
+                    if indeg[m as usize] == 0 {
+                        queue.push(m);
+                    }
+                }
+            }
+        }
+        assert_eq!(topo.len(), n, "scheduling state must stay acyclic");
+        for &i in topo.iter().rev() {
+            let best = self.nodes[i as usize]
+                .out
+                .iter()
+                .flatten()
+                .map(|&q| self.nodes[q as usize].tdist)
+                .max()
+                .unwrap_or(0);
+            self.nodes[i as usize].tdist = best + self.nodes[i as usize].delay;
+        }
+    }
+
+    fn sync_graph_growth(&mut self) {
+        self.node_of.resize(self.g.len(), None);
+        let (anc, desc) = closures(&self.g);
+        self.anc = anc;
+        self.desc = desc;
+    }
+}
+
+enum Direction {
+    Backward,
+    Forward,
+}
+
+fn closures(g: &PrecedenceGraph) -> (BitMatrix, BitMatrix) {
+    let desc = algo::transitive_closure(g);
+    let mut anc = BitMatrix::new(g.len());
+    for v in g.op_ids() {
+        for d in desc.iter_row(v.index()) {
+            anc.set(d, v.index());
+        }
+    }
+    (anc, desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::bench_graphs;
+
+    fn fig1_scheduler() -> (ThreadedScheduler, [OpId; 7]) {
+        let f = bench_graphs::fig1();
+        let ts = ThreadedScheduler::new(f.graph, ResourceSet::uniform(2)).unwrap();
+        (ts, f.v)
+    }
+
+    #[test]
+    fn empty_state_has_zero_diameter() {
+        let (ts, _) = fig1_scheduler();
+        assert_eq!(ts.diameter(), 0);
+        assert_eq!(ts.scheduled_count(), 0);
+        ts.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn paper_figure1e_schedule_is_reproduced() {
+        // Thread A: 3,4,6,7; thread B: 1,2,5 — the soft schedule of
+        // Figure 1(e), 5 states.
+        let (mut ts, v) = fig1_scheduler();
+        for (op, thread) in [
+            (v[2], 0), // 3
+            (v[3], 0), // 4
+            (v[5], 0), // 6
+            (v[6], 0), // 7
+            (v[0], 1), // 1
+            (v[1], 1), // 2
+            (v[4], 1), // 5
+        ] {
+            // Schedule into the exact threads of Figure 1(e): take the
+            // feasible tail position of the desired thread.
+            let placements = ts.feasible_placements(op).unwrap();
+            let p = placements
+                .iter()
+                .filter(|p| p.thread == thread)
+                .last()
+                .copied()
+                .unwrap();
+            ts.commit(p, op);
+        }
+        ts.check_invariants().unwrap();
+        assert_eq!(ts.diameter(), 5);
+        assert_eq!(ts.chain(0), vec![v[2], v[3], v[5], v[6]]);
+        assert_eq!(ts.chain(1), vec![v[0], v[1], v[4]]);
+        // The artificial serialisation 2 ≺ 5 exists in the state even
+        // though the dataflow graph has no such edge.
+        let snap = ts.snapshot();
+        let closure = hls_ir::algo::transitive_closure(&snap.graph);
+        let i2 = snap.ops.iter().position(|&o| o == v[1]).unwrap();
+        let i5 = snap.ops.iter().position(|&o| o == v[4]).unwrap();
+        assert!(closure.get(i2, i5), "2 ≺ 5 must be serialised");
+    }
+
+    #[test]
+    fn select_is_greedy_diameter_optimal_on_fig1() {
+        let (mut ts, v) = fig1_scheduler();
+        // Any topological meta order; select must keep the state diameter
+        // equal to the best achievable at every step (Theorem 2).
+        for op in [v[0], v[2], v[1], v[4], v[3], v[5], v[6]] {
+            let best_possible: u64 = ts
+                .feasible_placements(op)
+                .unwrap()
+                .into_iter()
+                .map(|p| {
+                    let mut clone = ts.clone();
+                    clone.commit(p, op);
+                    clone.diameter()
+                })
+                .min()
+                .unwrap();
+            ts.schedule(op).unwrap();
+            assert_eq!(ts.diameter(), best_possible, "scheduling {op}");
+            ts.check_invariants().unwrap();
+        }
+        assert_eq!(ts.diameter(), 5);
+    }
+
+    #[test]
+    fn scheduling_is_idempotent() {
+        let (mut ts, v) = fig1_scheduler();
+        let p1 = ts.schedule(v[0]).unwrap();
+        let before = ts.snapshot();
+        let p2 = ts.schedule(v[0]).unwrap();
+        assert_eq!(p1.thread, p2.thread);
+        assert_eq!(ts.scheduled_count(), 1);
+        let after = ts.snapshot();
+        assert_eq!(before.graph.len(), after.graph.len());
+    }
+
+    #[test]
+    fn placement_cost_predicts_new_distance() {
+        let (mut ts, v) = fig1_scheduler();
+        for &op in &[v[0], v[1], v[3], v[2]] {
+            let p = ts.select(op).unwrap();
+            ts.commit(p, op);
+            let n = ts.node_of[op.index()].unwrap();
+            let node = &ts.nodes[n as usize];
+            assert_eq!(
+                node.sdist + node.tdist - node.delay,
+                p.cost,
+                "select's cost must equal the committed distance of {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_compatible_unit_is_reported() {
+        let g = bench_graphs::hal();
+        let muls: Vec<OpId> = g
+            .op_ids()
+            .filter(|&v| g.kind(v) == hls_ir::OpKind::Mul)
+            .collect();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(2, 0)).unwrap();
+        assert!(matches!(
+            ts.schedule(muls[0]),
+            Err(SchedError::NoCompatibleUnit(_, hls_ir::OpKind::Mul))
+        ));
+    }
+
+    #[test]
+    fn unknown_op_is_reported() {
+        let (mut ts, _) = fig1_scheduler();
+        let bogus = OpId::from_index(999);
+        assert_eq!(ts.schedule(bogus), Err(SchedError::UnknownOp(bogus)));
+    }
+
+    #[test]
+    fn typed_threads_respect_compatibility() {
+        let g = bench_graphs::hal();
+        let r = ResourceSet::classic(2, 2);
+        let order = hls_ir::algo::topo_order(&g).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r).unwrap();
+        ts.schedule_all(order).unwrap();
+        ts.check_invariants().unwrap();
+        for v in ts.graph().op_ids() {
+            let k = ts.thread_of(v).unwrap();
+            assert!(
+                ts.resources().compatible(k, ts.graph().kind(v)),
+                "{v} on incompatible thread {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_is_monotone_under_scheduling() {
+        let g = bench_graphs::ewf();
+        let order = hls_ir::algo::topo_order(&g).unwrap();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(2, 1)).unwrap();
+        let mut last = 0;
+        for v in order {
+            ts.schedule(v).unwrap();
+            let d = ts.diameter();
+            assert!(d >= last, "Lemma 4 violated at {v}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn extract_hard_matches_state_diameter_and_validates() {
+        let g = bench_graphs::fir();
+        let r = ResourceSet::classic(2, 2);
+        let order = hls_ir::algo::topo_order(&g).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r.clone()).unwrap();
+        ts.schedule_all(order).unwrap();
+        let hard = ts.extract_hard();
+        assert_eq!(hard.length(ts.graph()), ts.diameter());
+        hls_ir::schedule::validate(ts.graph(), &r, &hard).unwrap();
+    }
+
+    #[test]
+    fn wire_ops_get_singleton_threads() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let w = g.add_op(OpKind::WireDelay, 1, "w");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, w).unwrap();
+        g.add_edge(w, b).unwrap();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(1, 0)).unwrap();
+        ts.schedule_all([a, w, b]).unwrap();
+        ts.check_invariants().unwrap();
+        assert_eq!(ts.thread_count(), 2);
+        assert_eq!(ts.thread_of(w), Some(1));
+        assert_eq!(ts.diameter(), 3);
+        let hard = ts.extract_hard();
+        assert_eq!(hard.unit(w), None);
+        assert_eq!(hard.start(b), Some(2));
+    }
+
+    #[test]
+    fn refine_splice_absorbs_a_spill() {
+        // Figure 1(c) scenario: spill the value of vertex 3; the threaded
+        // schedule stretches from 5 to 6 states (the paper's number).
+        let (mut ts, v) = fig1_scheduler();
+        for (op, thread) in [
+            (v[2], 0),
+            (v[3], 0),
+            (v[5], 0),
+            (v[6], 0),
+            (v[0], 1),
+            (v[1], 1),
+            (v[4], 1),
+        ] {
+            let placements = ts.feasible_placements(op).unwrap();
+            let p = placements.iter().filter(|p| p.thread == thread).last().copied().unwrap();
+            ts.commit(p, op);
+        }
+        assert_eq!(ts.diameter(), 5);
+        let inserted = ts
+            .refine_splice(
+                v[2],
+                v[3],
+                [
+                    (OpKind::WireDelay, 1, "st".to_string()),
+                    (OpKind::WireDelay, 1, "ld".to_string()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(inserted.len(), 2);
+        ts.check_invariants().unwrap();
+        assert_eq!(ts.diameter(), 6, "paper: spill stretches 5 -> 6 states");
+    }
+
+    #[test]
+    fn refine_add_op_rejects_cycles() {
+        let (mut ts, v) = fig1_scheduler();
+        ts.schedule_all(v).unwrap();
+        let err = ts.refine_add_op(OpKind::Add, 1, "bad", &[v[6]], &[v[0]]);
+        assert!(matches!(err, Err(SchedError::WouldCycle(_))));
+    }
+
+    #[test]
+    fn state_dot_shows_threads_and_both_edge_styles() {
+        let (mut ts, v) = fig1_scheduler();
+        ts.schedule_all(v).unwrap();
+        let dot = ts.state_to_dot("fig1");
+        assert!(dot.starts_with("digraph \"fig1\""));
+        assert!(dot.contains("style=solid"), "chain edges present");
+        assert!(dot.contains("thr 0"));
+        assert!(dot.contains("thr 1"));
+        // No sentinels leak into the rendering: node count = 7.
+        assert_eq!(dot.matches("fillcolor").count(), 7);
+    }
+
+    #[test]
+    fn snapshot_spans_exactly_the_scheduled_ops() {
+        let (mut ts, v) = fig1_scheduler();
+        ts.schedule(v[0]).unwrap();
+        ts.schedule(v[2]).unwrap();
+        let snap = ts.snapshot();
+        assert_eq!(snap.graph.len(), 2);
+        assert_eq!(snap.ops.len(), 2);
+        assert!(snap.ops.contains(&v[0]));
+        assert!(snap.ops.contains(&v[2]));
+    }
+}

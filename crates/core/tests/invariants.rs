@@ -1,0 +1,197 @@
+//! Property-based tests of the paper's definitions and theorems.
+//!
+//! Each property is stated against the formal framework of Section 3/4:
+//! Definition 3 (correctness, incrementality), Definition 4
+//! (threadedness), Lemma 4 (diameter monotonicity), Lemma 7 (degree
+//! bound — via the internal invariant checker), Theorem 1 (the
+//! implementation is a threaded schedule) and Theorem 2 (online
+//! optimality against exhaustive speculation).
+
+use hls_ir::{generate, OpId, PrecedenceGraph, ResourceClass, ResourceSet};
+use proptest::prelude::*;
+use threaded_sched::{
+    meta::MetaSchedule,
+    soft::{check_correctness, check_incremental, check_threaded},
+    ThreadedScheduler,
+};
+
+fn workload(seed: u64, ops: usize) -> PrecedenceGraph {
+    let cfg = generate::LayeredConfig {
+        ops,
+        width: (ops / 4).max(2),
+        edge_prob: 0.35,
+        mul_ratio: 0.35,
+        ..generate::LayeredConfig::default()
+    };
+    generate::layered_dag(seed, &cfg)
+}
+
+fn resources(alus: usize, muls: usize) -> ResourceSet {
+    ResourceSet::classic(alus, muls)
+}
+
+fn meta(idx: usize) -> MetaSchedule {
+    match idx {
+        0 => MetaSchedule::Dfs,
+        1 => MetaSchedule::Topological,
+        2 => MetaSchedule::PathBased,
+        3 => MetaSchedule::ListBased,
+        _ => MetaSchedule::Random(idx as u64),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1: along any meta order, the implementation maintains a
+    /// correct, incremental, threaded state (Definitions 3 and 4), and
+    /// the internal structure (pointer symmetry, chains, Lemma 7 degree
+    /// bound, acyclicity) never breaks.
+    #[test]
+    fn theorem1_state_stays_a_threaded_schedule(
+        seed in 0u64..1000,
+        ops in 8usize..36,
+        alus in 1usize..4,
+        muls in 1usize..3,
+        meta_idx in 0usize..6,
+    ) {
+        let g = workload(seed, ops);
+        let r = resources(alus, muls);
+        let order = meta(meta_idx).order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g.clone(), r).unwrap();
+        let mut prev = ts.snapshot();
+        for v in order {
+            ts.schedule(v).unwrap();
+            let snap = ts.snapshot();
+            check_correctness(&g, &snap).unwrap();
+            check_incremental(&prev, &snap).unwrap();
+            check_threaded(&snap).unwrap();
+            ts.check_invariants().unwrap();
+            prev = snap;
+        }
+        prop_assert_eq!(ts.scheduled_count(), g.len());
+    }
+
+    /// Lemma 4: the state diameter is monotone along any run.
+    #[test]
+    fn lemma4_diameter_is_monotone(
+        seed in 0u64..1000,
+        ops in 8usize..48,
+        meta_idx in 0usize..6,
+    ) {
+        let g = workload(seed, ops);
+        let r = resources(2, 2);
+        let order = meta(meta_idx).order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r).unwrap();
+        let mut last = 0;
+        for v in order {
+            ts.schedule(v).unwrap();
+            prop_assert!(ts.diameter() >= last);
+            last = ts.diameter();
+        }
+    }
+
+    /// Theorem 2: at every step, `select` reaches the minimal next-state
+    /// diameter over all feasible placements (exhaustive speculation).
+    #[test]
+    fn theorem2_select_is_online_optimal(
+        seed in 0u64..400,
+        ops in 6usize..18,
+        alus in 1usize..3,
+        muls in 1usize..3,
+        meta_idx in 0usize..6,
+    ) {
+        let g = workload(seed, ops);
+        let r = resources(alus, muls);
+        let order = meta(meta_idx).order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r).unwrap();
+        for v in order {
+            let best = ts
+                .feasible_placements(v)
+                .unwrap()
+                .into_iter()
+                .map(|p| {
+                    let mut spec = ts.clone();
+                    spec.commit(p, v);
+                    spec.diameter()
+                })
+                .min()
+                .unwrap();
+            ts.schedule(v).unwrap();
+            prop_assert_eq!(ts.diameter(), best);
+        }
+    }
+
+    /// The extracted hard schedule is always complete, legal and exactly
+    /// as long as the state diameter.
+    #[test]
+    fn extraction_is_always_legal(
+        seed in 0u64..1000,
+        ops in 8usize..40,
+        alus in 1usize..4,
+        muls in 1usize..3,
+        meta_idx in 0usize..6,
+    ) {
+        let g = workload(seed, ops);
+        let r = resources(alus, muls);
+        let order = meta(meta_idx).order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r.clone()).unwrap();
+        ts.schedule_all(order).unwrap();
+        let hard = ts.extract_hard();
+        hls_ir::schedule::validate(ts.graph(), &r, &hard).unwrap();
+        prop_assert_eq!(hard.length(ts.graph()), ts.diameter());
+    }
+
+    /// Scheduling is idempotent (Definition 3: `v ∈ V_S → F(v,S) = S`).
+    #[test]
+    fn scheduling_twice_changes_nothing(
+        seed in 0u64..500,
+        ops in 4usize..24,
+    ) {
+        let g = workload(seed, ops);
+        let r = resources(2, 2);
+        let order = MetaSchedule::Topological.order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r).unwrap();
+        ts.schedule_all(order.iter().copied()).unwrap();
+        let d = ts.diameter();
+        let n = ts.scheduled_count();
+        for v in order {
+            ts.schedule(v).unwrap();
+        }
+        prop_assert_eq!(ts.diameter(), d);
+        prop_assert_eq!(ts.scheduled_count(), n);
+    }
+
+    /// Refinement splices keep every invariant and only ever lengthen
+    /// the schedule by at most the inserted delay.
+    #[test]
+    fn refinement_is_safe_and_bounded(
+        seed in 0u64..400,
+        ops in 8usize..30,
+        edge_pick in 0usize..64,
+        wire_delay in 1u64..4,
+    ) {
+        let g = workload(seed, ops);
+        let r = resources(2, 2).with(ResourceClass::MemPort, 1);
+        let order = MetaSchedule::ListBased.order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r.clone()).unwrap();
+        ts.schedule_all(order).unwrap();
+        let before = ts.diameter();
+        let edges: Vec<(OpId, OpId)> = ts.graph().edges().collect();
+        prop_assume!(!edges.is_empty());
+        let (u, w) = edges[edge_pick % edges.len()];
+        let inserted = ts
+            .refine_splice(
+                u,
+                w,
+                [(hls_ir::OpKind::WireDelay, wire_delay, "wd".to_string())],
+            )
+            .unwrap();
+        prop_assert_eq!(inserted.len(), 1);
+        ts.check_invariants().unwrap();
+        prop_assert!(ts.diameter() >= before);
+        prop_assert!(ts.diameter() <= before + wire_delay);
+        let hard = ts.extract_hard();
+        hls_ir::schedule::validate(ts.graph(), &r, &hard).unwrap();
+    }
+}

@@ -1,0 +1,331 @@
+//! The flow driver.
+
+use hls_alloc::{left_edge, lifetimes, spill, RegAllocation};
+use hls_ir::{
+    schedule as sched_check, DelayModel, HardSchedule, OpKind, PrecedenceGraph, ResourceClass,
+    ResourceSet,
+};
+use hls_phys::{annotate, place, Floorplan, PlaceConfig, WireModel};
+use threaded_sched::{meta::MetaSchedule, refine, SchedError, ThreadedScheduler};
+
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the end-to-end flow.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Functional-unit allocation. A memory port is required if spilling
+    /// can occur (register budget set).
+    pub resources: ResourceSet,
+    /// Register-file size; `None` disables spilling.
+    pub register_budget: Option<usize>,
+    /// Operation feed order for the soft scheduler.
+    pub meta: MetaSchedule,
+    /// Floorplan grid (width, height); must fit `resources.k()` cells.
+    pub grid: (usize, usize),
+    /// Interconnect delay model.
+    pub wire_model: WireModel,
+    /// Placement annealing parameters.
+    pub place: PlaceConfig,
+    /// Delay model (for φ-resolution move delay).
+    pub delays: DelayModel,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            resources: ResourceSet::classic(2, 1).with(ResourceClass::MemPort, 1),
+            register_budget: None,
+            meta: MetaSchedule::ListBased,
+            grid: (2, 2),
+            wire_model: WireModel::default(),
+            place: PlaceConfig::default(),
+            delays: DelayModel::classic(),
+        }
+    }
+}
+
+/// Quantities reported by the flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowReport {
+    /// Diameter right after soft scheduling.
+    pub initial_states: u64,
+    /// Spills absorbed.
+    pub spills: usize,
+    /// φ operations resolved to moves.
+    pub phis_to_moves: usize,
+    /// φ operations resolved to nothing (same register both sides).
+    pub phis_voided: usize,
+    /// Wire-delay vertices absorbed after placement.
+    pub wire_delays: usize,
+    /// Final schedule length (control states).
+    pub final_states: u64,
+    /// Registers used by the final allocation.
+    pub registers: usize,
+    /// Total traffic-weighted wirelength of the placement.
+    pub wirelength: u64,
+}
+
+/// Everything the flow produces.
+#[derive(Clone, Debug)]
+pub struct FlowOutcome {
+    /// The soft scheduler holding the final refined state (and the
+    /// refined behavior graph).
+    pub scheduler: ThreadedScheduler,
+    /// The extracted, validated hard schedule.
+    pub schedule: HardSchedule,
+    /// Final register allocation.
+    pub registers: RegAllocation,
+    /// The annealed floorplan.
+    pub floorplan: Floorplan,
+    /// The controller/datapath model.
+    pub fsmd: crate::Fsmd,
+    /// Headline numbers.
+    pub report: FlowReport,
+}
+
+/// Errors of the end-to-end flow.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlowError {
+    /// The front end rejected the source.
+    Lang(hls_lang::LangError),
+    /// The scheduler failed.
+    Sched(SchedError),
+    /// The extracted schedule failed validation (internal bug guard).
+    Invalid(String),
+    /// Lifetime extraction failed (internal bug guard).
+    Lifetime(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Lang(e) => write!(f, "front end: {e}"),
+            FlowError::Sched(e) => write!(f, "scheduler: {e}"),
+            FlowError::Invalid(msg) => write!(f, "invalid extracted schedule: {msg}"),
+            FlowError::Lifetime(msg) => write!(f, "lifetime extraction: {msg}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<hls_lang::LangError> for FlowError {
+    fn from(e: hls_lang::LangError) -> Self {
+        FlowError::Lang(e)
+    }
+}
+
+impl From<SchedError> for FlowError {
+    fn from(e: SchedError) -> Self {
+        FlowError::Sched(e)
+    }
+}
+
+/// Compiles behavioral source and runs the full flow.
+///
+/// # Errors
+///
+/// Any [`FlowError`].
+pub fn run_flow_source(source: &str, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    let compiled = hls_lang::compile(source, &config.delays)?;
+    run_flow(compiled.graph, config)
+}
+
+/// Runs the full flow on an already-built behavior graph.
+///
+/// # Errors
+///
+/// Any [`FlowError`].
+pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    // 1. Soft scheduling.
+    let order = config.meta.order(&graph, &config.resources)?;
+    let mut ts = ThreadedScheduler::new(graph, config.resources.clone())?;
+    ts.schedule_all(order)?;
+    let initial_states = ts.diameter();
+
+    // 2. Register allocation with spilling, absorbed softly. Spilling
+    // stops at the budget, on stall (pressure no longer dropping — the
+    // remaining pressure is inherent), or at a hard bound.
+    let mut spills = 0usize;
+    if let Some(budget) = config.register_budget {
+        let max_spills = ts.graph().len();
+        let mut best_pressure = usize::MAX;
+        let mut stalled = 0usize;
+        while spills < max_spills {
+            let hard = ts.extract_hard();
+            let ls = lifetimes::lifetimes(ts.graph(), &hard)
+                .map_err(|e| FlowError::Lifetime(e.to_string()))?;
+            let pressure = left_edge::allocate(&ls).register_count();
+            if pressure <= budget {
+                break;
+            }
+            if pressure < best_pressure {
+                best_pressure = pressure;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= 3 {
+                    break;
+                }
+            }
+            let Some(decision) = spill::pick_spill(ts.graph(), &ls) else {
+                break;
+            };
+            refine::insert_spill(&mut ts, decision.producer, decision.consumer)?;
+            spills += 1;
+        }
+    }
+
+    // 3. φ resolution: same-register sources vanish, others become moves.
+    let hard = ts.extract_hard();
+    let ls = lifetimes::lifetimes(ts.graph(), &hard)
+        .map_err(|e| FlowError::Lifetime(e.to_string()))?;
+    let regs = left_edge::allocate(&ls);
+    let mut phis_to_moves = 0usize;
+    let mut phis_voided = 0usize;
+    let phi_ops: Vec<_> = ts
+        .graph()
+        .op_ids()
+        .filter(|&v| ts.graph().kind(v) == OpKind::Phi)
+        .collect();
+    for phi in phi_ops {
+        // Data sources are every predecessor that produces a value
+        // (the condition also feeds the φ; it selects, it is not data —
+        // but for register comparison only value sources matter).
+        let srcs: Vec<_> = ts.graph().preds(phi).to_vec();
+        let regs_of: Vec<Option<usize>> = srcs.iter().map(|&p| regs.register_of(p)).collect();
+        let all_same = regs_of.len() >= 2
+            && regs_of.iter().skip(1).all(|r| *r == regs_of[1])
+            && regs_of[1].is_some();
+        if all_same {
+            ts.retype_op(phi, OpKind::Nop, 0);
+            phis_voided += 1;
+        } else {
+            ts.retype_op(phi, OpKind::Move, config.delays.delay_of(OpKind::Move));
+            phis_to_moves += 1;
+        }
+    }
+
+    // 4–5. Binding is the thread assignment; place and absorb wire
+    // delays.
+    let hard = ts.extract_hard();
+    let start_fp =
+        Floorplan::row_major(config.resources.k(), config.grid.0, config.grid.1);
+    let matrix = hls_phys::traffic_matrix(ts.graph(), &hard, &config.resources);
+    let floorplan = place(&start_fp, &matrix, &config.place);
+    let wirelength = floorplan.wirelength(&matrix);
+    let transfers = annotate(ts.graph(), &hard, &floorplan, config.wire_model);
+    let wire_delays = transfers.len();
+    for t in transfers {
+        refine::insert_wire_delay(&mut ts, t.from, t.to, t.cycles)?;
+    }
+
+    // 6. Extract, validate, build the FSMD.
+    let schedule = ts.extract_hard();
+    sched_check::validate(ts.graph(), &config.resources, &schedule)
+        .map_err(|e| FlowError::Invalid(e.to_string()))?;
+    let final_states = ts.diameter();
+    let ls = lifetimes::lifetimes(ts.graph(), &schedule)
+        .map_err(|e| FlowError::Lifetime(e.to_string()))?;
+    let registers = left_edge::allocate(&ls);
+    let fsmd = crate::Fsmd::build(ts.graph(), &schedule, &registers, &config.resources);
+
+    let report = FlowReport {
+        initial_states,
+        spills,
+        phis_to_moves,
+        phis_voided,
+        wire_delays,
+        final_states,
+        registers: registers.register_count(),
+        wirelength,
+    };
+    Ok(FlowOutcome {
+        scheduler: ts,
+        schedule,
+        registers,
+        floorplan,
+        fsmd,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::bench_graphs;
+
+    const HAL_SRC: &str = "
+        input x, dx, u, y, a;
+        output x1, y1, u1, c;
+        t1 = 3 * x;  t2 = u * dx;  t3 = 3 * y;
+        t4 = t1 * t2;
+        t5 = t3 * dx;
+        s1 = u - t4;
+        u1 = s1 - t5;
+        y1 = y + u * dx;
+        x1 = x + dx;
+        c = x1 < a;
+    ";
+
+    #[test]
+    fn full_flow_from_source_produces_valid_hardware() {
+        let out = run_flow_source(HAL_SRC, &FlowConfig::default()).unwrap();
+        assert!(out.report.final_states >= out.report.initial_states);
+        assert!(out.report.registers > 0);
+        assert_eq!(out.fsmd.states, out.report.final_states);
+        out.scheduler.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn register_budget_triggers_spills() {
+        let mut cfg = FlowConfig::default();
+        cfg.register_budget = Some(1);
+        let out = run_flow_source(HAL_SRC, &cfg).unwrap();
+        assert!(out.report.spills > 0, "budget 1 must force spilling");
+        // The spilled design still validates and fits the budget.
+        assert!(out.report.registers <= 3, "pressure must drop near budget");
+    }
+
+    #[test]
+    fn tight_wire_model_inserts_wire_delays() {
+        let mut cfg = FlowConfig::default();
+        cfg.wire_model = WireModel::new(1);
+        cfg.grid = (4, 1); // a strip stretches distances
+        let out = run_flow(bench_graphs::ewf(), &cfg).unwrap();
+        assert!(out.report.wire_delays > 0);
+        assert!(out.report.final_states >= out.report.initial_states);
+    }
+
+    #[test]
+    fn phis_are_resolved_one_way_or_another() {
+        let src = "
+            input a, b; output o;
+            if (a < b) { s = a + 1; } else { s = b + 2; }
+            o = s * 3;
+        ";
+        let out = run_flow_source(src, &FlowConfig::default()).unwrap();
+        assert_eq!(out.report.phis_to_moves + out.report.phis_voided, 1);
+        // No Phi survives in the final behavior.
+        assert!(out
+            .scheduler
+            .graph()
+            .op_ids()
+            .all(|v| out.scheduler.graph().kind(v) != OpKind::Phi));
+    }
+
+    #[test]
+    fn front_end_errors_propagate() {
+        let err = run_flow_source("output o;", &FlowConfig::default()).unwrap_err();
+        assert!(matches!(err, FlowError::Lang(_)));
+    }
+
+    #[test]
+    fn missing_units_propagate_as_sched_errors() {
+        let mut cfg = FlowConfig::default();
+        cfg.resources = ResourceSet::classic(2, 0); // no multiplier
+        let err = run_flow(bench_graphs::hal(), &cfg).unwrap_err();
+        assert!(matches!(err, FlowError::Sched(_)));
+    }
+}

@@ -1,0 +1,389 @@
+//! Value-level simulation: functional verification of scheduled,
+//! register-allocated designs.
+//!
+//! Two interpreters over the same operand semantics:
+//!
+//! * [`eval_dfg`] — the *reference*: evaluates the dataflow graph in
+//!   dependence order, ignoring the schedule entirely;
+//! * [`simulate_datapath`] — the *implementation*: executes the hard
+//!   schedule cycle by cycle against a real register file (values are
+//!   written when operations finish and **clobbered** when the register
+//!   is reused), reading chained values only in their forwarding window.
+//!
+//! If scheduling, spilling, φ resolution or wire-delay refinement ever
+//! broke a lifetime, the two would disagree — so
+//! `simulate == reference` is an executable end-to-end soundness check
+//! for the entire flow.
+
+use hls_alloc::RegAllocation;
+use hls_ir::{algo, HardSchedule, OpId, OpKind, Operand, PrecedenceGraph};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// An operation has no recorded operands (run
+    /// [`hls_ir::sim_operands::infer`] first).
+    NoOperands(OpId),
+    /// A named input has no supplied value.
+    MissingInput(String),
+    /// The schedule does not cover this operation.
+    Unscheduled(OpId),
+    /// An operand's register was overwritten before its last use — the
+    /// lifetime/allocation is broken.
+    Clobbered {
+        /// The reading operation.
+        reader: OpId,
+        /// The producer whose value was lost.
+        producer: OpId,
+    },
+    /// A chained (register-less) value was read outside its forwarding
+    /// window.
+    ForwardingMiss {
+        /// The reading operation.
+        reader: OpId,
+        /// The producer of the chained value.
+        producer: OpId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoOperands(v) => write!(f, "operation {v} has no operands"),
+            SimError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+            SimError::Unscheduled(v) => write!(f, "operation {v} is unscheduled"),
+            SimError::Clobbered { reader, producer } => {
+                write!(f, "{reader} read a clobbered register value of {producer}")
+            }
+            SimError::ForwardingMiss { reader, producer } => {
+                write!(f, "{reader} missed the forwarding window of {producer}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+fn apply(kind: OpKind, args: &[i64]) -> i64 {
+    let a = args.first().copied().unwrap_or(0);
+    let b = args.get(1).copied().unwrap_or(0);
+    match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        OpKind::Cmp => i64::from(a < b),
+        OpKind::Shl => a.wrapping_shl((b & 63) as u32),
+        OpKind::Logic => a & b,
+        // Pass-throughs: memory, moves, wires, placeholders.
+        OpKind::Load | OpKind::Store | OpKind::Move | OpKind::WireDelay | OpKind::Nop => a,
+        // φ selects on its first operand: (cond, then, else).
+        OpKind::Phi => {
+            let c = a;
+            let t = b;
+            let e = args.get(2).copied().unwrap_or(0);
+            if c != 0 {
+                t
+            } else {
+                e
+            }
+        }
+    }
+}
+
+/// Reference evaluation of the DFG in dependence order.
+///
+/// # Errors
+///
+/// [`SimError::NoOperands`] / [`SimError::MissingInput`]; panics only on
+/// cyclic graphs (validated everywhere upstream).
+pub fn eval_dfg(
+    g: &PrecedenceGraph,
+    inputs: &BTreeMap<String, i64>,
+) -> Result<BTreeMap<OpId, i64>, SimError> {
+    let order = algo::topo_order(g).expect("simulation requires a DAG");
+    let mut values: BTreeMap<OpId, i64> = BTreeMap::new();
+    for v in order {
+        if g.operands(v).is_empty() {
+            return Err(SimError::NoOperands(v));
+        }
+        let mut args = Vec::with_capacity(g.operands(v).len());
+        for operand in g.operands(v) {
+            args.push(operand_value(operand, inputs, |p| values.get(&p).copied())?);
+        }
+        values.insert(v, apply(g.kind(v), &args));
+    }
+    Ok(values)
+}
+
+fn operand_value(
+    operand: &Operand,
+    inputs: &BTreeMap<String, i64>,
+    mut lookup: impl FnMut(OpId) -> Option<i64>,
+) -> Result<i64, SimError> {
+    match operand {
+        Operand::Const(c) => Ok(*c),
+        Operand::Input(name) => inputs
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::MissingInput(name.clone())),
+        Operand::Op(p) => Ok(lookup(*p).expect("dependence order guarantees the producer ran")),
+    }
+}
+
+/// Cycle-accurate execution of a hard schedule against the register
+/// file implied by `regs`.
+///
+/// # Errors
+///
+/// All [`SimError`] variants; in a correct flow this function returns
+/// exactly [`eval_dfg`]'s values.
+pub fn simulate_datapath(
+    g: &PrecedenceGraph,
+    sched: &HardSchedule,
+    regs: &RegAllocation,
+    inputs: &BTreeMap<String, i64>,
+) -> Result<BTreeMap<OpId, i64>, SimError> {
+    // Issue order by start step.
+    let mut ops: Vec<OpId> = g.op_ids().collect();
+    for &v in &ops {
+        if sched.start(v).is_none() {
+            return Err(SimError::Unscheduled(v));
+        }
+    }
+    ops.sort_by_key(|&v| (sched.start(v), v));
+
+    // Register file: register -> (producer, value). Timing convention
+    // (matching edge-triggered hardware and the left-edge allocator's
+    // half-open intervals): a value finishing at step `t` is latched at
+    // the clock edge entering `t`; a consumer starting at step `t`
+    // samples its operands *at that same edge*, i.e. it sees the
+    // pre-edge register state plus a forwarding path for values landing
+    // exactly at `t`. Writes therefore commit strictly before the
+    // reader's start step.
+    let mut regfile: BTreeMap<usize, (OpId, i64)> = BTreeMap::new();
+    let mut produced: BTreeMap<OpId, i64> = BTreeMap::new();
+    // Pending writes sorted by finish step.
+    let mut writes: Vec<(u64, OpId, usize, i64)> = Vec::new();
+
+    for &v in &ops {
+        let now = sched.start(v).expect("checked above");
+        // Commit all writes that land strictly before `now`.
+        writes.sort_by_key(|&(t, p, _, _)| (t, p));
+        let (ready, pending): (Vec<_>, Vec<_>) =
+            writes.into_iter().partition(|&(t, _, _, _)| t < now);
+        writes = pending;
+        for (_, p, r, val) in ready {
+            regfile.insert(r, (p, val));
+        }
+
+        if g.operands(v).is_empty() {
+            return Err(SimError::NoOperands(v));
+        }
+        let mut args = Vec::with_capacity(g.operands(v).len());
+        for operand in g.operands(v) {
+            let value = match operand {
+                Operand::Const(c) => *c,
+                Operand::Input(name) => inputs
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SimError::MissingInput(name.clone()))?,
+                Operand::Op(p) => {
+                    let p = *p;
+                    let pf = sched.finish(g, p).ok_or(SimError::Unscheduled(p))?;
+                    if g.kind(p) == OpKind::Store && pf <= now {
+                        // A stored value lives in background memory: one
+                        // location per spill, never clobbered within the
+                        // block. The matching Load reads it directly.
+                        *produced
+                            .get(&p)
+                            .expect("issue order runs producers first")
+                    } else if pf == now {
+                        // Same-edge forwarding (chained or just-latched).
+                        *produced
+                            .get(&p)
+                            .expect("issue order runs producers first")
+                    } else {
+                        match regs.register_of(p) {
+                            Some(r) => match regfile.get(&r) {
+                                Some(&(holder, val)) if holder == p => val,
+                                _ => {
+                                    return Err(SimError::Clobbered {
+                                        reader: v,
+                                        producer: p,
+                                    })
+                                }
+                            },
+                            None => {
+                                // Register-less value read outside its
+                                // forwarding window.
+                                return Err(SimError::ForwardingMiss {
+                                    reader: v,
+                                    producer: p,
+                                });
+                            }
+                        }
+                    }
+                }
+            };
+            args.push(value);
+        }
+        let result = apply(g.kind(v), &args);
+        produced.insert(v, result);
+        if let Some(r) = regs.register_of(v) {
+            writes.push((now + g.delay(v), v, r, result));
+        }
+    }
+    Ok(produced)
+}
+
+/// Convenience: deterministic pseudo-random inputs for every named
+/// input reachable in `g` (seeded, for reproducible tests).
+pub fn synth_inputs(g: &PrecedenceGraph, seed: i64) -> BTreeMap<String, i64> {
+    let mut inputs = BTreeMap::new();
+    for v in g.op_ids() {
+        for operand in g.operands(v) {
+            if let Operand::Input(name) = operand {
+                // Simple splitmix-style hash of name + seed.
+                let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64);
+                for b in name.bytes() {
+                    h = h.wrapping_mul(31).wrapping_add(b as i64);
+                }
+                inputs.insert(name.clone(), (h % 97) - 48);
+            }
+        }
+    }
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{bench_graphs, sim_operands, ResourceSet};
+
+    fn scheduled(
+        g: &PrecedenceGraph,
+        alus: usize,
+        muls: usize,
+    ) -> (HardSchedule, RegAllocation) {
+        let out = hls_baselines::list_schedule(
+            g,
+            &ResourceSet::classic(alus, muls),
+            hls_baselines::Priority::CriticalPath,
+        )
+        .unwrap();
+        let ls = hls_alloc::lifetimes::lifetimes(g, &out.schedule).unwrap();
+        (out.schedule, hls_alloc::left_edge::allocate(&ls))
+    }
+
+    #[test]
+    fn datapath_matches_reference_on_all_benchmarks() {
+        for (name, mut g) in bench_graphs::all() {
+            sim_operands::infer(&mut g);
+            let inputs = synth_inputs(&g, 7);
+            let reference = eval_dfg(&g, &inputs).unwrap();
+            for (alus, muls) in [(2, 2), (4, 4), (2, 1)] {
+                let (sched, regs) = scheduled(&g, alus, muls);
+                let got = simulate_datapath(&g, &sched, &regs, &inputs).unwrap();
+                assert_eq!(got, reference, "{name} under {alus}+{muls}*");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_order_matters_for_sub() {
+        let mut g = PrecedenceGraph::new();
+        let s = g.add_op(OpKind::Sub, 1, "s");
+        g.set_operands(
+            s,
+            vec![Operand::Const(10), Operand::Const(3)],
+        );
+        let vals = eval_dfg(&g, &BTreeMap::new()).unwrap();
+        assert_eq!(vals[&s], 7);
+    }
+
+    #[test]
+    fn phi_selects_by_condition() {
+        let mut g = PrecedenceGraph::new();
+        let phi = g.add_op(OpKind::Phi, 0, "phi");
+        g.set_operands(
+            phi,
+            vec![Operand::Const(1), Operand::Const(42), Operand::Const(7)],
+        );
+        assert_eq!(eval_dfg(&g, &BTreeMap::new()).unwrap()[&phi], 42);
+        g.set_operands(
+            phi,
+            vec![Operand::Const(0), Operand::Const(42), Operand::Const(7)],
+        );
+        assert_eq!(eval_dfg(&g, &BTreeMap::new()).unwrap()[&phi], 7);
+    }
+
+    #[test]
+    fn clobbered_register_is_detected() {
+        // Two producers forced into one register with overlapping uses.
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        let c = g.add_op(OpKind::Add, 1, "c");
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        sim_operands::infer(&mut g);
+        let mut sched = HardSchedule::new(3);
+        sched.assign(a, 0, Some(0));
+        sched.assign(b, 1, Some(0));
+        sched.assign(c, 4, Some(0));
+        // A *broken* allocation: both values in register 0.
+        let ls = vec![
+            hls_alloc::Lifetime { producer: a, birth: 1, death: 4 },
+            hls_alloc::Lifetime { producer: b, birth: 4, death: 5 },
+        ];
+        let regs = hls_alloc::left_edge::allocate(&ls);
+        assert_eq!(regs.register_of(a), regs.register_of(b), "forced collision");
+        let err = simulate_datapath(&g, &sched, &regs, &synth_inputs(&g, 1)).unwrap_err();
+        assert!(matches!(err, SimError::Clobbered { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        g.set_operands(a, vec![Operand::Input("x".into()), Operand::Const(1)]);
+        let err = eval_dfg(&g, &BTreeMap::new()).unwrap_err();
+        assert_eq!(err, SimError::MissingInput("x".into()));
+    }
+
+    #[test]
+    fn spilled_design_still_computes_the_same_values() {
+        use threaded_sched::{meta::MetaSchedule, refine, ThreadedScheduler};
+        let mut g = bench_graphs::hal();
+        sim_operands::infer(&mut g);
+        let inputs = synth_inputs(&g, 3);
+        let reference = eval_dfg(&g, &inputs).unwrap();
+
+        let r = ResourceSet::classic(2, 2).with(hls_ir::ResourceClass::MemPort, 1);
+        let order = MetaSchedule::ListBased.order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r).unwrap();
+        ts.schedule_all(order).unwrap();
+        // Spill two arbitrary values through memory.
+        let edges: Vec<_> = ts.graph().edges().take(2).collect();
+        for (u, w) in edges {
+            refine::insert_spill(&mut ts, u, w).unwrap();
+        }
+        let sched = ts.extract_hard();
+        let ls = hls_alloc::lifetimes::lifetimes(ts.graph(), &sched).unwrap();
+        let regs = hls_alloc::left_edge::allocate(&ls);
+        let got = simulate_datapath(ts.graph(), &sched, &regs, &inputs).unwrap();
+        for (op, val) in &reference {
+            assert_eq!(got.get(op), Some(val), "value of {op} changed by spilling");
+        }
+    }
+}

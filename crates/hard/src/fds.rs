@@ -1,0 +1,373 @@
+//! Force-directed scheduling (Paulin & Knight, 1989).
+//!
+//! FDS is timing-constrained: given a latency bound it chooses start steps
+//! that balance the expected demand on every resource class, minimising
+//! the number of functional units needed. The paper cites it as the other
+//! traditional (hard) scheduler; we use it as an additional baseline and
+//! in ablations.
+
+use crate::{alap, asap, BaselineError};
+use hls_ir::{HardSchedule, OpId, PrecedenceGraph, ResourceClass};
+
+/// Result of [`fds_schedule`].
+#[derive(Clone, Debug)]
+pub struct FdsOutcome {
+    /// Start steps for every operation (no unit binding; use
+    /// [`crate::bind_units`]).
+    pub schedule: HardSchedule,
+    /// Peak concurrent use per resource class — the unit allocation FDS
+    /// implies. Sorted by class.
+    pub usage: Vec<(ResourceClass, usize)>,
+}
+
+/// Schedules `g` within `latency` steps, balancing per-class demand.
+///
+/// Implementation notes: classic self-force plus the implied frame
+/// restriction of direct predecessors/successors; frames are recomputed
+/// exactly (by constrained ASAP/ALAP) after every placement, which is
+/// simpler and more robust than incremental updates at O(n² · L) total
+/// cost.
+///
+/// # Errors
+///
+/// Propagates [`BaselineError::CyclicInput`] and
+/// [`BaselineError::LatencyTooSmall`].
+pub fn fds_schedule(g: &PrecedenceGraph, latency: u64) -> Result<FdsOutcome, BaselineError> {
+    let n = g.len();
+    let mut fixed: Vec<Option<u64>> = vec![None; n];
+    let mut early = asap(g)?;
+    let mut late = alap(g, latency)?;
+
+    for _round in 0..n {
+        let Some((op, start)) = best_placement(g, latency, &fixed, &early, &late)? else {
+            break;
+        };
+        fixed[op.index()] = Some(start);
+        let (e, l) = constrained_frames(g, latency, &fixed)?;
+        early = e;
+        late = l;
+    }
+
+    let mut schedule = HardSchedule::new(n);
+    for v in g.op_ids() {
+        let s = fixed[v.index()].unwrap_or_else(|| early.start(v).expect("asap complete"));
+        schedule.assign(v, s, None);
+    }
+    let usage = peak_usage(g, &schedule, latency);
+    Ok(FdsOutcome { schedule, usage })
+}
+
+/// ASAP/ALAP with some operations pinned to fixed start steps.
+fn constrained_frames(
+    g: &PrecedenceGraph,
+    latency: u64,
+    fixed: &[Option<u64>],
+) -> Result<(HardSchedule, HardSchedule), BaselineError> {
+    let order = hls_ir::algo::topo_order(g).map_err(|_| BaselineError::CyclicInput)?;
+    let mut early = HardSchedule::new(g.len());
+    for &v in &order {
+        let mut s = g
+            .preds(v)
+            .iter()
+            .map(|&p| early.finish(g, p).expect("topological order"))
+            .max()
+            .unwrap_or(0);
+        if let Some(f) = fixed[v.index()] {
+            // A pinned op whose frame the predecessors violate indicates an
+            // inconsistent pin; clamp pessimistically (cannot happen when
+            // pins come from legal frames).
+            s = s.max(f).min(f.max(s));
+            s = f.max(s);
+        }
+        early.assign(v, s, None);
+    }
+    let mut late = HardSchedule::new(g.len());
+    for &v in order.iter().rev() {
+        let mut e = g
+            .succs(v)
+            .iter()
+            .map(|&q| late.start(q).expect("reverse topological order"))
+            .min()
+            .unwrap_or(latency);
+        if let Some(f) = fixed[v.index()] {
+            e = f + g.delay(v);
+        }
+        if e < g.delay(v) {
+            return Err(BaselineError::LatencyTooSmall {
+                given: latency,
+                needed: g.delay(v),
+            });
+        }
+        late.assign(v, e - g.delay(v), None);
+    }
+    Ok((early, late))
+}
+
+/// Execution probability of `v` at step `t` given its frame.
+fn occupancy(g: &PrecedenceGraph, v: OpId, s_min: u64, s_max: u64, t: u64) -> f64 {
+    let d = g.delay(v);
+    if d == 0 {
+        return 0.0;
+    }
+    let width = s_max - s_min + 1;
+    // Starts s in [s_min, s_max] with s <= t <= s + d - 1.
+    let lo = s_min.max(t.saturating_sub(d - 1));
+    let hi = s_max.min(t);
+    if lo > hi {
+        0.0
+    } else {
+        (hi - lo + 1) as f64 / width as f64
+    }
+}
+
+/// Distribution graph for one resource class over all steps.
+fn distribution(
+    g: &PrecedenceGraph,
+    latency: u64,
+    class: ResourceClass,
+    early: &HardSchedule,
+    late: &HardSchedule,
+) -> Vec<f64> {
+    let mut dg = vec![0.0f64; latency as usize + 1];
+    for v in g.op_ids() {
+        if g.kind(v).resource_class() != class {
+            continue;
+        }
+        let (s_min, s_max) = frame(early, late, v);
+        for (t, slot) in dg.iter_mut().enumerate() {
+            *slot += occupancy(g, v, s_min, s_max, t as u64);
+        }
+    }
+    dg
+}
+
+fn frame(early: &HardSchedule, late: &HardSchedule, v: OpId) -> (u64, u64) {
+    let s_min = early.start(v).expect("frames are complete");
+    let s_max = late.start(v).expect("frames are complete").max(s_min);
+    (s_min, s_max)
+}
+
+/// Evaluates every (unfixed op, candidate start) pair and returns the one
+/// with the lowest total force.
+fn best_placement(
+    g: &PrecedenceGraph,
+    latency: u64,
+    fixed: &[Option<u64>],
+    early: &HardSchedule,
+    late: &HardSchedule,
+) -> Result<Option<(OpId, u64)>, BaselineError> {
+    let classes: Vec<ResourceClass> = {
+        let mut cs: Vec<ResourceClass> =
+            g.op_ids().map(|v| g.kind(v).resource_class()).collect();
+        cs.sort();
+        cs.dedup();
+        cs
+    };
+    let dgs: Vec<(ResourceClass, Vec<f64>)> = classes
+        .iter()
+        .map(|&c| (c, distribution(g, latency, c, early, late)))
+        .collect();
+
+    let mut best: Option<(f64, OpId, u64)> = None;
+    for v in g.op_ids() {
+        if fixed[v.index()].is_some() {
+            continue;
+        }
+        let class = g.kind(v).resource_class();
+        let (s_min, s_max) = frame(early, late, v);
+        if s_min == s_max {
+            // Already immobile; fixing it changes nothing but progress.
+            let cand = (0.0, v, s_min);
+            if best.is_none_or(|(f, bv, _)| cand.0 < f || (cand.0 == f && v < bv)) {
+                best = Some(cand);
+            }
+            continue;
+        }
+        let dg = &dgs
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("class present")
+            .1;
+        for s in s_min..=s_max {
+            let mut force = self_force(g, v, s_min, s_max, s, dg);
+            // Neighbour forces: pinning v at s narrows direct neighbours.
+            for &p in g.preds(v) {
+                if fixed[p.index()].is_none() {
+                    let (pmin, pmax) = frame(early, late, p);
+                    let new_max = pmax.min(s.saturating_sub(g.delay(p)));
+                    if new_max < pmax {
+                        let pdg = class_dg(&dgs, g.kind(p).resource_class());
+                        force += self_force_range(g, p, pmin, pmax, pmin, new_max.max(pmin), pdg);
+                    }
+                }
+            }
+            for &q in g.succs(v) {
+                if fixed[q.index()].is_none() {
+                    let (qmin, qmax) = frame(early, late, q);
+                    let new_min = qmin.max(s + g.delay(v));
+                    if new_min > qmin {
+                        let qdg = class_dg(&dgs, g.kind(q).resource_class());
+                        force += self_force_range(g, q, qmin, qmax, new_min.min(qmax), qmax, qdg);
+                    }
+                }
+            }
+            if best.is_none_or(|(f, bv, bs)| {
+                force < f - 1e-12 || (force <= f + 1e-12 && (v, s) < (bv, bs))
+            }) {
+                best = Some((force, v, s));
+            }
+        }
+    }
+    Ok(best.map(|(_, v, s)| (v, s)))
+}
+
+fn class_dg<'a>(
+    dgs: &'a [(ResourceClass, Vec<f64>)],
+    class: ResourceClass,
+) -> &'a [f64] {
+    &dgs.iter().find(|(c, _)| *c == class).expect("class present").1
+}
+
+/// Self force of restricting `v`'s frame from `[s_min, s_max]` to the
+/// single start `s`.
+fn self_force(
+    g: &PrecedenceGraph,
+    v: OpId,
+    s_min: u64,
+    s_max: u64,
+    s: u64,
+    dg: &[f64],
+) -> f64 {
+    self_force_range(g, v, s_min, s_max, s, s, dg)
+}
+
+/// Self force of restricting `v`'s frame from `[s_min, s_max]` to
+/// `[n_min, n_max]`: Σ_t DG(t) · (p_new(t) − p_old(t)).
+fn self_force_range(
+    g: &PrecedenceGraph,
+    v: OpId,
+    s_min: u64,
+    s_max: u64,
+    n_min: u64,
+    n_max: u64,
+    dg: &[f64],
+) -> f64 {
+    let mut force = 0.0;
+    let lo = s_min;
+    let hi = (s_max + g.delay(v)).min(dg.len() as u64 - 1);
+    for t in lo..=hi {
+        let p_old = occupancy(g, v, s_min, s_max, t);
+        let p_new = occupancy(g, v, n_min, n_max, t);
+        force += dg[t as usize] * (p_new - p_old);
+    }
+    force
+}
+
+/// Peak simultaneous use per resource class of a complete schedule.
+pub(crate) fn peak_usage(
+    g: &PrecedenceGraph,
+    sched: &HardSchedule,
+    latency: u64,
+) -> Vec<(ResourceClass, usize)> {
+    let mut usage: Vec<(ResourceClass, Vec<usize>)> = Vec::new();
+    for v in g.op_ids() {
+        let class = g.kind(v).resource_class();
+        if class == ResourceClass::Wire || g.delay(v) == 0 {
+            continue;
+        }
+        let s = sched.start(v).expect("complete schedule");
+        let entry = match usage.iter_mut().find(|(c, _)| *c == class) {
+            Some(e) => e,
+            None => {
+                usage.push((class, vec![0; latency as usize + 1]));
+                usage.last_mut().expect("just pushed")
+            }
+        };
+        for t in s..(s + g.delay(v)).min(latency + 1) {
+            entry.1[t as usize] += 1;
+        }
+    }
+    let mut out: Vec<(ResourceClass, usize)> = usage
+        .into_iter()
+        .map(|(c, per_step)| (c, per_step.into_iter().max().unwrap_or(0)))
+        .collect();
+    out.sort_by_key(|&(c, _)| c);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{algo, bench_graphs, schedule, ResourceSet};
+
+    #[test]
+    fn fds_meets_the_latency_bound_and_precedence() {
+        let g = bench_graphs::hal();
+        let latency = algo::diameter(&g) + 2;
+        let out = fds_schedule(&g, latency).unwrap();
+        assert!(out.schedule.length(&g) <= latency);
+        for (p, q) in g.edges() {
+            assert!(
+                out.schedule.start(q).unwrap() >= out.schedule.finish(&g, p).unwrap(),
+                "{p} -> {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn fds_balances_hal_multipliers() {
+        // The textbook FDS result: at latency 8, HAL needs far fewer
+        // multipliers than the ASAP peak of 4.
+        let g = bench_graphs::hal();
+        let out = fds_schedule(&g, 8).unwrap();
+        let muls = out
+            .usage
+            .iter()
+            .find(|(c, _)| *c == ResourceClass::Multiplier)
+            .map(|&(_, n)| n)
+            .unwrap();
+        assert!(muls <= 2, "FDS should need at most 2 multipliers, got {muls}");
+    }
+
+    #[test]
+    fn fds_usage_binds_successfully() {
+        let g = bench_graphs::fir();
+        let latency = algo::diameter(&g) + 3;
+        let out = fds_schedule(&g, latency).unwrap();
+        let mut r = ResourceSet::new();
+        for &(class, n) in &out.usage {
+            r = r.with(class, n);
+        }
+        let bound = crate::bind_units(&g, &r, &out.schedule).unwrap();
+        schedule::validate(&g, &r, &bound).unwrap();
+    }
+
+    #[test]
+    fn fds_rejects_infeasible_latency() {
+        let g = bench_graphs::hal();
+        assert!(matches!(
+            fds_schedule(&g, 2),
+            Err(BaselineError::LatencyTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn fds_at_exact_critical_path_is_feasible() {
+        let g = bench_graphs::ewf();
+        let latency = algo::diameter(&g);
+        let out = fds_schedule(&g, latency).unwrap();
+        assert_eq!(out.schedule.length(&g), latency);
+    }
+
+    #[test]
+    fn peak_usage_counts_overlap() {
+        let mut g = hls_ir::PrecedenceGraph::new();
+        let a = g.add_op(hls_ir::OpKind::Mul, 2, "a");
+        let b = g.add_op(hls_ir::OpKind::Mul, 2, "b");
+        let mut s = hls_ir::HardSchedule::new(2);
+        s.assign(a, 0, None);
+        s.assign(b, 1, None);
+        let usage = peak_usage(&g, &s, 3);
+        assert_eq!(usage, vec![(ResourceClass::Multiplier, 2)]);
+    }
+}

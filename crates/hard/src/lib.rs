@@ -1,0 +1,65 @@
+//! Traditional ("hard") HLS schedulers.
+//!
+//! These are the schedulers the paper contrasts soft scheduling against:
+//! they commit every operation to a fixed time step, i.e. their scheduling
+//! state is *totally ordered* (Definition 3 of Zhu & Gajski, DAC '99).
+//!
+//! * [`asap`] / [`alap`] — unconstrained earliest/latest schedules and the
+//!   derived [`mobility`] (slack) measure;
+//! * [`list_schedule`] — resource-constrained list scheduling, the
+//!   baseline of the paper's Figure 3 (and the source of its "meta
+//!   schedule 4" operation order);
+//! * [`fds_schedule`] — Paulin & Knight's force-directed scheduling
+//!   (timing-constrained), cited by the paper as the other traditional
+//!   scheduler;
+//! * [`bind_units`] — greedy interval binding of a start-time assignment
+//!   onto functional-unit instances.
+
+mod fds;
+mod list;
+mod unconstrained;
+
+pub use fds::{fds_schedule, FdsOutcome};
+pub use list::{bind_units, list_schedule, ListOutcome, Priority};
+pub use unconstrained::{alap, asap, mobility};
+
+use hls_ir::{OpId, OpKind};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the baseline schedulers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BaselineError {
+    /// The input graph has a cycle.
+    CyclicInput,
+    /// No functional unit in the resource set can execute this operation.
+    NoCompatibleUnit(OpId, OpKind),
+    /// The latency bound is below the critical path.
+    LatencyTooSmall {
+        /// Requested latency bound.
+        given: u64,
+        /// Critical-path length of the graph.
+        needed: u64,
+    },
+    /// Unit binding failed (more concurrent operations than instances).
+    BindingOverflow(OpId),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::CyclicInput => write!(f, "input graph is cyclic"),
+            BaselineError::NoCompatibleUnit(v, k) => {
+                write!(f, "no unit can execute operation {v} of kind {k}")
+            }
+            BaselineError::LatencyTooSmall { given, needed } => {
+                write!(f, "latency bound {given} below critical path {needed}")
+            }
+            BaselineError::BindingOverflow(v) => {
+                write!(f, "not enough unit instances to bind operation {v}")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}

@@ -1,0 +1,150 @@
+//! Unconstrained ASAP / ALAP schedules and mobility.
+
+use crate::BaselineError;
+use hls_ir::{algo, HardSchedule, PrecedenceGraph};
+
+/// As-soon-as-possible start times (no resource constraints, no units).
+///
+/// `start(v) = max over preds (start(p) + delay(p))`, sources at 0.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::CyclicInput`] if `g` is cyclic.
+pub fn asap(g: &PrecedenceGraph) -> Result<HardSchedule, BaselineError> {
+    let order = algo::topo_order(g).map_err(|_| BaselineError::CyclicInput)?;
+    let mut sched = HardSchedule::new(g.len());
+    for &v in &order {
+        let start = g
+            .preds(v)
+            .iter()
+            .map(|&p| sched.finish(g, p).expect("topological order"))
+            .max()
+            .unwrap_or(0);
+        sched.assign(v, start, None);
+    }
+    Ok(sched)
+}
+
+/// As-late-as-possible start times under a latency bound (the schedule of
+/// the paper's Figure 1(b)).
+///
+/// `start(v) = min over succs start(q) − delay(v)`, sinks end at `latency`.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::CyclicInput`] for cyclic graphs and
+/// [`BaselineError::LatencyTooSmall`] if `latency` is below the critical
+/// path.
+pub fn alap(g: &PrecedenceGraph, latency: u64) -> Result<HardSchedule, BaselineError> {
+    let order = algo::topo_order(g).map_err(|_| BaselineError::CyclicInput)?;
+    let needed = algo::diameter(g);
+    if latency < needed {
+        return Err(BaselineError::LatencyTooSmall {
+            given: latency,
+            needed,
+        });
+    }
+    let mut sched = HardSchedule::new(g.len());
+    for &v in order.iter().rev() {
+        let end = g
+            .succs(v)
+            .iter()
+            .map(|&q| sched.start(q).expect("reverse topological order"))
+            .min()
+            .unwrap_or(latency);
+        sched.assign(v, end - g.delay(v), None);
+    }
+    Ok(sched)
+}
+
+/// Mobility (slack) of every operation under a latency bound:
+/// `alap_start − asap_start`, indexed by op. Zero mobility marks the
+/// critical path.
+///
+/// # Errors
+///
+/// Propagates the errors of [`asap`] and [`alap`].
+pub fn mobility(g: &PrecedenceGraph, latency: u64) -> Result<Vec<u64>, BaselineError> {
+    let early = asap(g)?;
+    let late = alap(g, latency)?;
+    Ok(g.op_ids()
+        .map(|v| late.start(v).expect("alap complete") - early.start(v).expect("asap complete"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{bench_graphs, OpKind};
+
+    #[test]
+    fn asap_of_hal_matches_hand_computation() {
+        let g = bench_graphs::hal();
+        let s = asap(&g).unwrap();
+        // m1..m3, m6, a1 are sources at 0; m4 starts when m1/m2 finish.
+        assert_eq!(s.length(&g), 6);
+        let m4 = g.op_ids().find(|&v| g.label(v).starts_with("m4")).unwrap();
+        assert_eq!(s.start(m4), Some(2));
+    }
+
+    #[test]
+    fn alap_ends_exactly_at_latency() {
+        let g = bench_graphs::hal();
+        let s = alap(&g, 10).unwrap();
+        assert_eq!(s.length(&g), 10);
+        // Every sink finishes at the bound under ALAP.
+        for v in g.sinks() {
+            assert_eq!(s.finish(&g, v), Some(10));
+        }
+    }
+
+    #[test]
+    fn alap_rejects_infeasible_latency() {
+        let g = bench_graphs::hal();
+        assert_eq!(
+            alap(&g, 3),
+            Err(BaselineError::LatencyTooSmall { given: 3, needed: 6 })
+        );
+    }
+
+    #[test]
+    fn mobility_is_zero_on_critical_path() {
+        let g = bench_graphs::hal();
+        let mob = mobility(&g, 6).unwrap();
+        let cp = hls_ir::algo::critical_path(&g);
+        for v in cp {
+            assert_eq!(mob[v.index()], 0, "critical op {v} must have no slack");
+        }
+        // a1 = x + dx has lots of slack at latency 6: alap start 4.
+        let a1 = g.op_ids().find(|&v| g.label(v).starts_with("a1")).unwrap();
+        assert_eq!(g.kind(a1), OpKind::Add);
+        assert_eq!(mob[a1.index()], 4);
+    }
+
+    #[test]
+    fn asap_precedence_holds_on_random_graphs() {
+        use hls_ir::generate::{layered_dag, LayeredConfig};
+        for seed in 0..5 {
+            let g = layered_dag(seed, &LayeredConfig::default());
+            let s = asap(&g).unwrap();
+            for (p, q) in g.edges() {
+                assert!(s.start(q).unwrap() >= s.finish(&g, p).unwrap());
+            }
+            assert_eq!(s.length(&g), hls_ir::algo::diameter(&g));
+        }
+    }
+
+    #[test]
+    fn alap_precedence_holds_on_random_graphs() {
+        use hls_ir::generate::{layered_dag, LayeredConfig};
+        for seed in 0..5 {
+            let g = layered_dag(seed, &LayeredConfig::default());
+            let lat = hls_ir::algo::diameter(&g) + 3;
+            let s = alap(&g, lat).unwrap();
+            for (p, q) in g.edges() {
+                assert!(s.start(q).unwrap() >= s.finish(&g, p).unwrap());
+            }
+            assert_eq!(s.length(&g), lat);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the traditional schedulers.
+
+use hls_baselines::{alap, asap, bind_units, fds_schedule, list_schedule, mobility, Priority};
+use hls_ir::{algo, generate, schedule, ResourceSet};
+use proptest::prelude::*;
+
+fn workload(seed: u64, ops: usize) -> hls_ir::PrecedenceGraph {
+    generate::layered_dag(
+        seed,
+        &generate::LayeredConfig {
+            ops,
+            width: (ops / 4).max(2),
+            ..generate::LayeredConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// List schedules are always complete, legal and bounded by
+    /// [critical path, serialised total delay].
+    #[test]
+    fn list_schedule_is_legal_and_bounded(
+        seed in 0u64..1000,
+        ops in 6usize..48,
+        alus in 1usize..4,
+        muls in 1usize..4,
+        prio_idx in 0usize..3,
+    ) {
+        let g = workload(seed, ops);
+        let r = ResourceSet::classic(alus, muls);
+        let prio = [Priority::CriticalPath, Priority::Mobility, Priority::InputOrder][prio_idx];
+        let out = list_schedule(&g, &r, prio).unwrap();
+        schedule::validate(&g, &r, &out.schedule).unwrap();
+        prop_assert!(out.length(&g) >= algo::diameter(&g));
+        prop_assert!(out.length(&g) <= g.total_delay());
+    }
+
+    /// More units never lengthen a list schedule.
+    #[test]
+    fn list_schedule_is_monotone_in_resources(
+        seed in 0u64..500,
+        ops in 6usize..40,
+        alus in 1usize..3,
+        muls in 1usize..3,
+    ) {
+        let g = workload(seed, ops);
+        let small = list_schedule(&g, &ResourceSet::classic(alus, muls), Priority::CriticalPath)
+            .unwrap()
+            .length(&g);
+        let big = list_schedule(
+            &g,
+            &ResourceSet::classic(alus + 1, muls + 1),
+            Priority::CriticalPath,
+        )
+        .unwrap()
+        .length(&g);
+        prop_assert!(big <= small);
+    }
+
+    /// ASAP is the unique earliest schedule; ALAP ends at the bound;
+    /// mobility is their non-negative difference.
+    #[test]
+    fn asap_alap_mobility_are_consistent(
+        seed in 0u64..1000,
+        ops in 4usize..40,
+        extra in 0u64..6,
+    ) {
+        let g = workload(seed, ops);
+        let latency = algo::diameter(&g) + extra;
+        let early = asap(&g).unwrap();
+        let late = alap(&g, latency).unwrap();
+        let mob = mobility(&g, latency).unwrap();
+        for v in g.op_ids() {
+            prop_assert!(early.start(v).unwrap() <= late.start(v).unwrap());
+            prop_assert_eq!(
+                mob[v.index()],
+                late.start(v).unwrap() - early.start(v).unwrap()
+            );
+        }
+        prop_assert_eq!(early.length(&g), algo::diameter(&g));
+        prop_assert_eq!(late.length(&g), latency);
+    }
+
+    /// FDS meets the latency bound, keeps precedence and its implied
+    /// allocation always binds.
+    #[test]
+    fn fds_is_feasible_and_bindable(
+        seed in 0u64..300,
+        ops in 4usize..24,
+        extra in 0u64..4,
+    ) {
+        let g = workload(seed, ops);
+        let latency = algo::diameter(&g) + extra;
+        let out = fds_schedule(&g, latency).unwrap();
+        prop_assert!(out.schedule.length(&g) <= latency);
+        for (p, q) in g.edges() {
+            prop_assert!(
+                out.schedule.start(q).unwrap() >= out.schedule.finish(&g, p).unwrap()
+            );
+        }
+        let mut r = ResourceSet::new();
+        for &(class, n) in &out.usage {
+            r = r.with(class, n);
+        }
+        let bound = bind_units(&g, &r, &out.schedule).unwrap();
+        schedule::validate(&g, &r, &bound).unwrap();
+    }
+}

@@ -1,0 +1,313 @@
+//! The benchmark data-flow graphs used by the paper's evaluation
+//! (Section 5, Figure 3) plus the Figure 1 motivating example.
+//!
+//! The paper does not publish its DFG files; these are reconstructions from
+//! the published literature descriptions of the classic HLS benchmark suite
+//! (op mixes, dependence shapes, classical delay model `mul = 2`,
+//! `add/sub/cmp = 1`). `EXPERIMENTS.md` records where the resulting
+//! schedule lengths deviate from the paper's table.
+
+use crate::{DelayModel, OpId, OpKind, PrecedenceGraph};
+
+/// The reconstructed Figure 1 example: seven unit-delay operations.
+///
+/// Edges: `1→2, 2→4, 3→4, 4→6, 5→6, 6→7`. With two universal functional
+/// units and threads `{3,4,6,7}` / `{1,2,5}` (artificial edge `2→5`), this
+/// reproduces every number quoted in the paper's text: a 5-state soft
+/// schedule (Figure 1(e)), 6 states after spilling vertex 3's value
+/// (Figure 1(c) scenario), and 5 states after a wire-delay insertion
+/// (Figure 1(d) scenario).
+#[derive(Clone, Debug)]
+pub struct Fig1 {
+    /// The dataflow graph of Figure 1(a).
+    pub graph: PrecedenceGraph,
+    /// Vertices `1..=7` as `v[0..=6]`.
+    pub v: [OpId; 7],
+}
+
+/// Builds the Figure 1 example graph.
+pub fn fig1() -> Fig1 {
+    let mut g = PrecedenceGraph::new();
+    let v: Vec<OpId> = (1..=7)
+        .map(|i| g.add_op(OpKind::Add, 1, format!("{i}")))
+        .collect();
+    let e = [(1, 2), (2, 4), (3, 4), (4, 6), (5, 6), (6, 7)];
+    for (a, b) in e {
+        g.add_edge(v[a - 1], v[b - 1]).expect("static edge list is valid");
+    }
+    Fig1 {
+        graph: g,
+        v: v.try_into().expect("exactly 7 vertices"),
+    }
+}
+
+/// The HAL differential-equation benchmark (Paulin & Knight): 11 operations
+/// — 6 multiplications, 2 subtractions, 2 additions, 1 comparison.
+///
+/// Solves one Euler step of `y'' + 3xy' + 3y = 0`:
+/// `u' = u − (3x·u·dx) − (3y·dx)`, `y' = y + u·dx`, `x' = x + dx`,
+/// loop test `x' < a`.
+pub fn hal() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(11);
+    let mul = |g: &mut PrecedenceGraph, l: &str| g.add_op(OpKind::Mul, dm.delay_of(OpKind::Mul), l);
+    let m1 = mul(&mut g, "m1=3*x");
+    let m2 = mul(&mut g, "m2=u*dx");
+    let m3 = mul(&mut g, "m3=3*y");
+    let m4 = mul(&mut g, "m4=m1*m2");
+    let m5 = mul(&mut g, "m5=m3*dx");
+    let m6 = mul(&mut g, "m6=u*dx");
+    let s1 = g.add_op(OpKind::Sub, 1, "s1=u-m4");
+    let s2 = g.add_op(OpKind::Sub, 1, "s2=s1-m5");
+    let a1 = g.add_op(OpKind::Add, 1, "a1=x+dx");
+    let a2 = g.add_op(OpKind::Add, 1, "a2=y+m6");
+    let c1 = g.add_op(OpKind::Cmp, 1, "c1=a1<a");
+    for (u, v) in [
+        (m1, m4),
+        (m2, m4),
+        (m3, m5),
+        (m4, s1),
+        (s1, s2),
+        (m5, s2),
+        (m6, a2),
+        (a1, c1),
+    ] {
+        g.add_edge(u, v).expect("static edge list is valid");
+    }
+    g
+}
+
+/// The AR lattice filter benchmark: 28 operations — 16 multiplications and
+/// 12 additions in three multiply levels with pairwise accumulation.
+pub fn ar() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(28);
+    let mul = |g: &mut PrecedenceGraph, l: String| {
+        g.add_op(OpKind::Mul, dm.delay_of(OpKind::Mul), l)
+    };
+    let add = |g: &mut PrecedenceGraph, l: String| g.add_op(OpKind::Add, 1, l);
+
+    // Level 1: four input products, two pair sums.
+    let l1: Vec<OpId> = (1..=4).map(|i| mul(&mut g, format!("m{i}"))).collect();
+    let a1 = add(&mut g, "a1".into());
+    let a2 = add(&mut g, "a2".into());
+    g.add_edge(l1[0], a1).unwrap();
+    g.add_edge(l1[1], a1).unwrap();
+    g.add_edge(l1[2], a2).unwrap();
+    g.add_edge(l1[3], a2).unwrap();
+
+    // Level 2: eight lattice products off the two pair sums, four pair sums.
+    let mut l2 = Vec::new();
+    for i in 5..=12 {
+        let m = mul(&mut g, format!("m{i}"));
+        let src = if i % 2 == 1 { a1 } else { a2 };
+        g.add_edge(src, m).unwrap();
+        l2.push(m);
+    }
+    let mut l2_sums = Vec::new();
+    for (j, pair) in l2.chunks(2).enumerate() {
+        let a = add(&mut g, format!("a{}", 3 + j));
+        g.add_edge(pair[0], a).unwrap();
+        g.add_edge(pair[1], a).unwrap();
+        l2_sums.push(a);
+    }
+
+    // Level 3: one product per level-2 sum, two pair sums.
+    let mut l3 = Vec::new();
+    for (j, &src) in l2_sums.iter().enumerate() {
+        let m = mul(&mut g, format!("m{}", 13 + j));
+        g.add_edge(src, m).unwrap();
+        l3.push(m);
+    }
+    let a7 = add(&mut g, "a7".into());
+    let a8 = add(&mut g, "a8".into());
+    g.add_edge(l3[0], a7).unwrap();
+    g.add_edge(l3[1], a7).unwrap();
+    g.add_edge(l3[2], a8).unwrap();
+    g.add_edge(l3[3], a8).unwrap();
+
+    // Output accumulation and the filter's independent input updates.
+    let a9 = add(&mut g, "a9".into());
+    g.add_edge(a7, a9).unwrap();
+    g.add_edge(a8, a9).unwrap();
+    let a10 = add(&mut g, "a10".into());
+    g.add_edge(a9, a10).unwrap();
+    add(&mut g, "a11".into());
+    add(&mut g, "a12".into());
+    g
+}
+
+/// The fifth-order elliptic wave filter (EF) benchmark: 34 operations — 26
+/// additions and 8 multiplications, dominated by a long adder cascade
+/// (critical path 17 under the classical delay model).
+pub fn ewf() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(34);
+    let mul = |g: &mut PrecedenceGraph, l: &str| g.add_op(OpKind::Mul, dm.delay_of(OpKind::Mul), l);
+    let add = |g: &mut PrecedenceGraph, l: &str| g.add_op(OpKind::Add, 1, l);
+    let chain = |g: &mut PrecedenceGraph, from: OpId, to: OpId| g.add_edge(from, to).unwrap();
+
+    // Ladder backbone: input add, 12 cascade adds, two scaling multipliers.
+    let t0 = add(&mut g, "t0");
+    let a1 = add(&mut g, "a1");
+    chain(&mut g, t0, a1);
+    let a2 = add(&mut g, "a2");
+    chain(&mut g, a1, a2);
+    let a3 = add(&mut g, "a3");
+    chain(&mut g, a2, a3);
+    let m1 = mul(&mut g, "M1");
+    chain(&mut g, a3, m1);
+    let a4 = add(&mut g, "a4");
+    chain(&mut g, m1, a4);
+    let a5 = add(&mut g, "a5");
+    chain(&mut g, a4, a5);
+    let a6 = add(&mut g, "a6");
+    chain(&mut g, a5, a6);
+    let m2 = mul(&mut g, "M2");
+    chain(&mut g, a6, m2);
+    let a7 = add(&mut g, "a7");
+    chain(&mut g, m2, a7);
+    let a8 = add(&mut g, "a8");
+    chain(&mut g, a7, a8);
+    let a9 = add(&mut g, "a9");
+    chain(&mut g, a8, a9);
+    let a10 = add(&mut g, "a10");
+    chain(&mut g, a9, a10);
+    let a11 = add(&mut g, "a11");
+    chain(&mut g, a10, a11);
+    let a12 = add(&mut g, "a12");
+    chain(&mut g, a11, a12);
+
+    // Six side branches (scale-and-correct): mul followed by two adds,
+    // reconverging into the backbone further down the cascade.
+    let side = |g: &mut PrecedenceGraph, i: usize, src: OpId, dst: OpId| {
+        let m = mul(g, &format!("m{i}"));
+        g.add_edge(src, m).unwrap();
+        let p = add(g, &format!("p{i}"));
+        g.add_edge(m, p).unwrap();
+        let w = add(g, &format!("w{i}"));
+        g.add_edge(p, w).unwrap();
+        g.add_edge(w, dst).unwrap();
+        w
+    };
+    side(&mut g, 3, t0, a5);
+    side(&mut g, 4, a2, a7);
+    side(&mut g, 5, a4, a9);
+    side(&mut g, 6, a5, a11);
+    side(&mut g, 7, a6, a12);
+    let w8 = side(&mut g, 8, a6, a12);
+    // Second filter output tap (the 26th addition).
+    let out2 = add(&mut g, "out2");
+    g.add_edge(w8, out2).unwrap();
+    g.add_edge(a10, out2).unwrap();
+    g
+}
+
+/// An 8-tap FIR filter: 8 coefficient multiplications feeding a balanced
+/// 7-addition reduction tree (15 operations).
+pub fn fir() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(15);
+    let taps: Vec<OpId> = (1..=8)
+        .map(|i| g.add_op(OpKind::Mul, dm.delay_of(OpKind::Mul), format!("m{i}")))
+        .collect();
+    let mut level = taps;
+    let mut next_add = 1;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            let a = g.add_op(OpKind::Add, 1, format!("a{next_add}"));
+            next_add += 1;
+            g.add_edge(pair[0], a).unwrap();
+            g.add_edge(pair[1], a).unwrap();
+            next.push(a);
+        }
+        level = next;
+    }
+    g
+}
+
+/// All four Figure 3 benchmarks, in the paper's row order.
+pub fn all() -> Vec<(&'static str, PrecedenceGraph)> {
+    vec![("HAL", hal()), ("AR", ar()), ("EF", ewf()), ("FIR", fir())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    fn count(g: &PrecedenceGraph, kind: OpKind) -> usize {
+        g.op_ids().filter(|&v| g.kind(v) == kind).count()
+    }
+
+    #[test]
+    fn fig1_matches_the_reconstruction() {
+        let f = fig1();
+        assert_eq!(f.graph.len(), 7);
+        assert_eq!(f.graph.edge_count(), 6);
+        assert!(f.graph.validate().is_ok());
+        // Unit delays; diameter = critical path 1,2,4,6,7 = 5 states.
+        assert_eq!(algo::diameter(&f.graph), 5);
+        // Vertex 5 is a source; vertex 3 is a source.
+        assert!(f.graph.preds(f.v[4]).is_empty());
+        assert!(f.graph.preds(f.v[2]).is_empty());
+    }
+
+    #[test]
+    fn hal_has_the_published_op_mix() {
+        let g = hal();
+        assert_eq!(g.len(), 11);
+        assert_eq!(count(&g, OpKind::Mul), 6);
+        assert_eq!(count(&g, OpKind::Add), 2);
+        assert_eq!(count(&g, OpKind::Sub), 2);
+        assert_eq!(count(&g, OpKind::Cmp), 1);
+        assert!(g.validate().is_ok());
+        // Critical path: m1/m2 (2) -> m4 (2) -> s1 (1) -> s2 (1).
+        assert_eq!(algo::diameter(&g), 6);
+    }
+
+    #[test]
+    fn ar_has_the_published_op_mix() {
+        let g = ar();
+        assert_eq!(g.len(), 28);
+        assert_eq!(count(&g, OpKind::Mul), 16);
+        assert_eq!(count(&g, OpKind::Add), 12);
+        assert!(g.validate().is_ok());
+        // m(2) a(1) m(2) a(1) m(2) a(1) + output accumulate a(1)+a(1) = 11.
+        assert_eq!(algo::diameter(&g), 11);
+    }
+
+    #[test]
+    fn ewf_has_the_published_op_mix() {
+        let g = ewf();
+        assert_eq!(g.len(), 34);
+        assert_eq!(count(&g, OpKind::Mul), 8);
+        assert_eq!(count(&g, OpKind::Add), 26);
+        assert!(g.validate().is_ok());
+        // The cascade dominates: 13 adds and 2 muls on the critical path.
+        assert_eq!(algo::diameter(&g), 17);
+    }
+
+    #[test]
+    fn fir_has_the_published_op_mix() {
+        let g = fir();
+        assert_eq!(g.len(), 15);
+        assert_eq!(count(&g, OpKind::Mul), 8);
+        assert_eq!(count(&g, OpKind::Add), 7);
+        assert!(g.validate().is_ok());
+        // mul (2) + three tree levels (3).
+        assert_eq!(algo::diameter(&g), 5);
+    }
+
+    #[test]
+    fn all_returns_the_four_figure3_rows() {
+        let rows = all();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["HAL", "AR", "EF", "FIR"]);
+        for (_, g) in &rows {
+            assert!(g.validate().is_ok());
+            assert!(!g.is_empty());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! A dense square bit matrix used for reachability / transitive closure.
+
+/// A dense `n × n` bit matrix.
+///
+/// Row `i` is a bitset over columns; [`crate::algo::transitive_closure`]
+/// stores "vertex `j` is reachable from vertex `i`" at `(i, j)`. Rows are
+/// word-aligned so whole-row unions vectorise well — this is what keeps
+/// closure maintenance cheap enough for the scheduler's inner loop.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
+    }
+
+    /// The dimension `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the `0 × 0` matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets bit `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn set(&mut self, row: usize, col: usize) {
+        assert!(row < self.n && col < self.n, "bit ({row},{col}) out of range");
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Reads bit `(row, col)`; out-of-range queries return `false`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        if row >= self.n || col >= self.n {
+            return false;
+        }
+        self.bits[row * self.words_per_row + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// ORs row `src` into row `dst` (`dst |= src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.n && dst < self.n);
+        if src == dst {
+            return;
+        }
+        let w = self.words_per_row;
+        let (s, d) = (src * w, dst * w);
+        // Split borrow: rows never overlap because src != dst.
+        if s < d {
+            let (left, right) = self.bits.split_at_mut(d);
+            for i in 0..w {
+                right[i] |= left[s + i];
+            }
+        } else {
+            let (left, right) = self.bits.split_at_mut(s);
+            for i in 0..w {
+                left[d + i] |= right[i];
+            }
+        }
+    }
+
+    /// Number of set bits in `row`.
+    pub fn row_count(&self, row: usize) -> usize {
+        let w = self.words_per_row;
+        self.bits[row * w..(row + 1) * w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the set columns of `row` in increasing order.
+    pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let w = self.words_per_row;
+        let words = &self.bits[row * w..(row + 1) * w];
+        words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Grows the matrix to `new_n × new_n`, preserving existing bits.
+    pub fn grow(&mut self, new_n: usize) {
+        if new_n <= self.n {
+            return;
+        }
+        let new_words = new_n.div_ceil(64);
+        let mut next = BitMatrix {
+            n: new_n,
+            words_per_row: new_words,
+            bits: vec![0; new_words * new_n],
+        };
+        for row in 0..self.n {
+            let src = &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row];
+            next.bits[row * new_words..row * new_words + self.words_per_row]
+                .copy_from_slice(src);
+        }
+        *self = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matrix_is_all_zero() {
+        let m = BitMatrix::new(130);
+        assert_eq!(m.len(), 130);
+        for i in 0..130 {
+            assert_eq!(m.row_count(i), 0);
+        }
+    }
+
+    #[test]
+    fn set_and_get_roundtrip_across_word_boundaries() {
+        let mut m = BitMatrix::new(200);
+        for &(r, c) in &[(0, 0), (0, 63), (0, 64), (3, 127), (199, 199), (5, 128)] {
+            m.set(r, c);
+            assert!(m.get(r, c), "({r},{c})");
+        }
+        assert!(!m.get(0, 1));
+        assert!(!m.get(1, 0));
+    }
+
+    #[test]
+    fn out_of_range_get_is_false() {
+        let m = BitMatrix::new(4);
+        assert!(!m.get(4, 0));
+        assert!(!m.get(0, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_set_panics() {
+        let mut m = BitMatrix::new(4);
+        m.set(0, 4);
+    }
+
+    #[test]
+    fn or_row_into_merges_forward_and_backward() {
+        let mut m = BitMatrix::new(100);
+        m.set(0, 7);
+        m.set(0, 70);
+        m.or_row_into(0, 2);
+        assert!(m.get(2, 7) && m.get(2, 70));
+        m.set(5, 99);
+        m.or_row_into(5, 1);
+        assert!(m.get(1, 99));
+        // Backward direction (src > dst already tested); same row is a no-op.
+        m.or_row_into(1, 1);
+        assert!(m.get(1, 99));
+    }
+
+    #[test]
+    fn iter_row_yields_sorted_columns() {
+        let mut m = BitMatrix::new(150);
+        for c in [3usize, 64, 65, 149, 0] {
+            m.set(9, c);
+        }
+        let cols: Vec<usize> = m.iter_row(9).collect();
+        assert_eq!(cols, vec![0, 3, 64, 65, 149]);
+        assert_eq!(m.row_count(9), 5);
+    }
+
+    #[test]
+    fn grow_preserves_bits() {
+        let mut m = BitMatrix::new(10);
+        m.set(1, 9);
+        m.set(9, 1);
+        m.grow(300);
+        assert_eq!(m.len(), 300);
+        assert!(m.get(1, 9));
+        assert!(m.get(9, 1));
+        assert!(!m.get(1, 10));
+        m.set(299, 299);
+        assert!(m.get(299, 299));
+        // Shrinking is a no-op.
+        m.grow(5);
+        assert_eq!(m.len(), 300);
+    }
+}

@@ -1,0 +1,69 @@
+//! Graphviz DOT export for precedence graphs.
+
+use crate::{OpId, PrecedenceGraph};
+use std::fmt::Write as _;
+
+/// Renders `g` as a DOT digraph named `name`.
+///
+/// Each vertex shows its label, mnemonic and delay.
+pub fn to_dot(g: &PrecedenceGraph, name: &str) -> String {
+    to_dot_with(g, name, |_| String::new())
+}
+
+/// Renders `g` as DOT, appending `extra(v)` (raw attribute text, e.g.
+/// `", color=red"`) to every vertex. Used by the scheduler to colour
+/// threads.
+pub fn to_dot_with(
+    g: &PrecedenceGraph,
+    name: &str,
+    mut extra: impl FnMut(OpId) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for v in g.op_ids() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{} d={}\"{}];",
+            v.index(),
+            g.label(v),
+            g.kind(v),
+            g.delay(v),
+            extra(v)
+        );
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Mul, 2, "m1");
+        let b = g.add_op(OpKind::Add, 1, "a1");
+        g.add_edge(a, b).unwrap();
+        let dot = to_dot(&g, "t");
+        assert!(dot.starts_with("digraph \"t\""));
+        assert!(dot.contains("n0 [label=\"m1\\n* d=2\"]"));
+        assert!(dot.contains("n1 [label=\"a1\\n+ d=1\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn extra_attributes_are_appended() {
+        let mut g = PrecedenceGraph::new();
+        g.add_op(OpKind::Add, 1, "x");
+        let dot = to_dot_with(&g, "t", |_| ", color=red".to_string());
+        assert!(dot.contains(", color=red]"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic random precedence-graph generators.
+//!
+//! Used by property tests (small adversarial shapes) and by the complexity
+//! benchmarks (large layered DFGs). All generators are seeded, so every
+//! test and bench run is reproducible.
+
+use crate::{DelayModel, OpId, OpKind, PrecedenceGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`layered_dag`].
+#[derive(Clone, Debug)]
+pub struct LayeredConfig {
+    /// Total number of operations.
+    pub ops: usize,
+    /// Mean layer width (vertices per rank).
+    pub width: usize,
+    /// Probability of an edge between vertices in adjacent layers.
+    pub edge_prob: f64,
+    /// Probability that an op is a multiply (the rest are ALU ops).
+    pub mul_ratio: f64,
+    /// Delay model applied to generated kinds.
+    pub delays: DelayModel,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            ops: 64,
+            width: 8,
+            edge_prob: 0.35,
+            mul_ratio: 0.4,
+            delays: DelayModel::classic(),
+        }
+    }
+}
+
+fn random_kind(rng: &mut StdRng, mul_ratio: f64) -> OpKind {
+    if rng.random_bool(mul_ratio.clamp(0.0, 1.0)) {
+        OpKind::Mul
+    } else {
+        match rng.random_range(0..4u8) {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::Cmp,
+            _ => OpKind::Logic,
+        }
+    }
+}
+
+/// Generates a layered (ranked) DAG: vertices are arranged in layers and
+/// edges only go from one layer to the next, guaranteeing acyclicity and a
+/// controllable depth/width profile — the shape of real basic-block DFGs.
+///
+/// Every non-first-layer vertex gets at least one predecessor, so the graph
+/// has no accidental islands.
+pub fn layered_dag(seed: u64, cfg: &LayeredConfig) -> PrecedenceGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = PrecedenceGraph::with_capacity(cfg.ops);
+    let width = cfg.width.max(1);
+    let mut layers: Vec<Vec<OpId>> = Vec::new();
+    let mut made = 0;
+    while made < cfg.ops {
+        let take = width.min(cfg.ops - made);
+        let layer: Vec<OpId> = (0..take)
+            .map(|_| {
+                let kind = random_kind(&mut rng, cfg.mul_ratio);
+                let id = g.add_op(kind, cfg.delays.delay_of(kind), format!("v{made}"));
+                made += 1;
+                id
+            })
+            .collect();
+        layers.push(layer);
+        // `made` advanced inside the closure chain above.
+    }
+    for li in 1..layers.len() {
+        let (prev, cur) = (&layers[li - 1], &layers[li]);
+        for &v in cur {
+            let mut has_pred = false;
+            for &p in prev {
+                if rng.random_bool(cfg.edge_prob.clamp(0.0, 1.0)) {
+                    g.add_edge(p, v).expect("layered edges are acyclic");
+                    has_pred = true;
+                }
+            }
+            if !has_pred {
+                let p = prev[rng.random_range(0..prev.len())];
+                g.add_edge(p, v).expect("layered edges are acyclic");
+            }
+        }
+    }
+    g
+}
+
+/// Generates a general random DAG over `n` vertices: every candidate edge
+/// `(i, j)` with `i < j` (in a random relabelling) is kept with probability
+/// `density`. Denser and less structured than [`layered_dag`].
+pub fn random_dag(seed: u64, n: usize, density: f64, delays: &DelayModel) -> PrecedenceGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = PrecedenceGraph::with_capacity(n);
+    let ids: Vec<OpId> = (0..n)
+        .map(|i| {
+            let kind = random_kind(&mut rng, 0.3);
+            g.add_op(kind, delays.delay_of(kind), format!("r{i}"))
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(density.clamp(0.0, 1.0)) {
+                g.add_edge(ids[i], ids[j]).expect("i<j edges are acyclic");
+            }
+        }
+    }
+    g
+}
+
+/// Generates a balanced binary expression tree of the given depth
+/// (leaves are multiplies, inner nodes alternate add/sub), rooted at the
+/// last op. A common accelerator-kernel shape.
+pub fn expression_tree(depth: u32, delays: &DelayModel) -> PrecedenceGraph {
+    let mut g = PrecedenceGraph::new();
+    fn build(
+        g: &mut PrecedenceGraph,
+        depth: u32,
+        delays: &DelayModel,
+        counter: &mut usize,
+    ) -> OpId {
+        *counter += 1;
+        let label = format!("t{counter}");
+        if depth == 0 {
+            g.add_op(OpKind::Mul, delays.delay_of(OpKind::Mul), label)
+        } else {
+            let l = build(g, depth - 1, delays, counter);
+            let r = build(g, depth - 1, delays, counter);
+            let kind = if depth % 2 == 0 { OpKind::Add } else { OpKind::Sub };
+            let v = g.add_op(kind, delays.delay_of(kind), label);
+            g.add_edge(l, v).expect("tree edges are acyclic");
+            g.add_edge(r, v).expect("tree edges are acyclic");
+            v
+        }
+    }
+    let mut counter = 0;
+    build(&mut g, depth, delays, &mut counter);
+    g
+}
+
+/// Generates `chains` independent multiply/accumulate chains of `len`
+/// operations each — the maximally parallel workload (no cross edges).
+pub fn independent_chains(chains: usize, len: usize, delays: &DelayModel) -> PrecedenceGraph {
+    let mut g = PrecedenceGraph::with_capacity(chains * len);
+    for c in 0..chains {
+        let mut prev: Option<OpId> = None;
+        for i in 0..len {
+            let kind = if i % 2 == 0 { OpKind::Mul } else { OpKind::Add };
+            let v = g.add_op(kind, delays.delay_of(kind), format!("c{c}_{i}"));
+            if let Some(p) = prev {
+                g.add_edge(p, v).expect("chain edges are acyclic");
+            }
+            prev = Some(v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn layered_dag_is_acyclic_and_sized() {
+        let g = layered_dag(1, &LayeredConfig::default());
+        assert_eq!(g.len(), 64);
+        assert!(g.validate().is_ok());
+        // Every non-source vertex has a predecessor by construction.
+        let sources = g.sources();
+        assert!(sources.len() <= 8, "only the first layer can be sources");
+    }
+
+    #[test]
+    fn layered_dag_is_deterministic_per_seed() {
+        let cfg = LayeredConfig::default();
+        let g1 = layered_dag(42, &cfg);
+        let g2 = layered_dag(42, &cfg);
+        assert_eq!(g1.len(), g2.len());
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        let g3 = layered_dag(43, &cfg);
+        assert!(
+            g1.edges().collect::<Vec<_>>() != g3.edges().collect::<Vec<_>>()
+                || g1.kind_histogram() != g3.kind_histogram(),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn random_dag_respects_density_extremes() {
+        let dm = DelayModel::classic();
+        let empty = random_dag(7, 20, 0.0, &dm);
+        assert_eq!(empty.edge_count(), 0);
+        let full = random_dag(7, 20, 1.0, &dm);
+        assert_eq!(full.edge_count(), 20 * 19 / 2);
+        assert!(full.validate().is_ok());
+    }
+
+    #[test]
+    fn expression_tree_shape() {
+        let dm = DelayModel::unit();
+        let g = expression_tree(3, &dm);
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.sources().len(), 8);
+        assert_eq!(algo::diameter(&g), 4);
+    }
+
+    #[test]
+    fn independent_chains_have_no_cross_edges() {
+        let dm = DelayModel::unit();
+        let g = independent_chains(3, 5, &dm);
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.edge_count(), 3 * 4);
+        assert_eq!(g.sources().len(), 3);
+        assert_eq!(g.sinks().len(), 3);
+        assert_eq!(algo::diameter(&g), 5);
+    }
+}

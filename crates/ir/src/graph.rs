@@ -1,0 +1,569 @@
+//! The precedence graph (Definition 1 of the paper).
+
+use crate::{IrError, OpKind};
+use std::fmt;
+
+/// Identifier of an operation (vertex) inside a [`PrecedenceGraph`].
+///
+/// Ids are dense indices; they stay valid for the lifetime of the graph
+/// (operations are never removed, matching the paper's model where
+/// refinement only *adds* vertices).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// Builds an id from a raw index. Intended for tables indexed by op.
+    pub fn from_index(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("op index exceeds u32"))
+    }
+
+    /// The dense index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One ordered operand of an operation.
+///
+/// Dependence edges are unordered; operands carry the value semantics
+/// (`a - b` vs `b - a`) needed by the simulator. Operations without
+/// recorded operands are still schedulable — only simulation requires
+/// them (see [`crate::sim_operands`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// The value produced by another operation.
+    Op(OpId),
+    /// A compile-time constant.
+    Const(i64),
+    /// A named primary input.
+    Input(String),
+}
+
+#[derive(Clone, Debug)]
+struct OpData {
+    kind: OpKind,
+    delay: u64,
+    label: String,
+    operands: Vec<Operand>,
+}
+
+/// A directed acyclic graph of operations with a delay function
+/// (`G = <V_G, E_G, D_G>`, Definition 1).
+///
+/// Vertices are operations; edges are data/control dependencies. The partial
+/// order `≺_G` induced by the graph is the transitive closure of its edges
+/// (query it via [`crate::algo::transitive_closure`]).
+///
+/// The graph deliberately supports the *mutations that the paper's
+/// refinement scenarios need*: adding operations, adding edges, and
+/// splicing an operation chain onto an existing edge (spill code, wire
+/// delays). Removal is not supported.
+#[derive(Clone, Debug, Default)]
+pub struct PrecedenceGraph {
+    ops: Vec<OpData>,
+    preds: Vec<Vec<OpId>>,
+    succs: Vec<Vec<OpId>>,
+    edge_count: usize,
+}
+
+impl PrecedenceGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `n` operations.
+    pub fn with_capacity(n: usize) -> Self {
+        PrecedenceGraph {
+            ops: Vec::with_capacity(n),
+            preds: Vec::with_capacity(n),
+            succs: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of operations `|V_G|`.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of edges `|E_G|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds an operation with an explicit delay and returns its id.
+    pub fn add_op(&mut self, kind: OpKind, delay: u64, label: impl Into<String>) -> OpId {
+        let id = OpId::from_index(self.ops.len());
+        self.ops.push(OpData {
+            kind,
+            delay,
+            label: label.into(),
+            operands: Vec::new(),
+        });
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Records the ordered operands of `v` (value semantics for the
+    /// simulator). Any [`Operand::Op`] operands must already be wired as
+    /// edges by the caller.
+    pub fn set_operands(&mut self, v: OpId, operands: Vec<Operand>) {
+        self.ops[v.index()].operands = operands;
+    }
+
+    /// The ordered operands of `v`; empty if never recorded.
+    pub fn operands(&self, v: OpId) -> &[Operand] {
+        &self.ops[v.index()].operands
+    }
+
+    /// Adds a dependency edge `from -> to`.
+    ///
+    /// Duplicate edges are ignored (the graph stays simple).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::SelfEdge`] for `from == to` and
+    /// [`IrError::UnknownOp`] for out-of-range endpoints. Cycle creation is
+    /// *not* checked here (it would be quadratic over a build); call
+    /// [`PrecedenceGraph::validate`] once after construction.
+    pub fn add_edge(&mut self, from: OpId, to: OpId) -> Result<(), IrError> {
+        if from == to {
+            return Err(IrError::SelfEdge(from));
+        }
+        self.check(from)?;
+        self.check(to)?;
+        if self.succs[from.index()].contains(&to) {
+            return Ok(());
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the edge `from -> to` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingEdge`] if the edge does not exist.
+    pub fn remove_edge(&mut self, from: OpId, to: OpId) -> Result<(), IrError> {
+        self.check(from)?;
+        self.check(to)?;
+        let spos = self.succs[from.index()].iter().position(|&s| s == to);
+        match spos {
+            None => Err(IrError::MissingEdge(from, to)),
+            Some(i) => {
+                self.succs[from.index()].swap_remove(i);
+                let j = self.preds[to.index()]
+                    .iter()
+                    .position(|&p| p == from)
+                    .expect("pred/succ lists out of sync");
+                self.preds[to.index()].swap_remove(j);
+                self.edge_count -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// `true` if the edge `from -> to` exists.
+    pub fn has_edge(&self, from: OpId, to: OpId) -> bool {
+        from.index() < self.len() && self.succs[from.index()].contains(&to)
+    }
+
+    /// Splices a chain of new operations onto the edge `from -> to`,
+    /// replacing it by `from -> chain[0] -> ... -> chain[n-1] -> to`.
+    ///
+    /// This is the mutation behind the paper's Figure 1(c) (spill `st`/`ld`
+    /// pair) and Figure 1(d) (wire-delay vertex). Returns the ids of the
+    /// inserted operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingEdge`] if `from -> to` is not an edge.
+    pub fn splice_on_edge(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        chain: impl IntoIterator<Item = (OpKind, u64, String)>,
+    ) -> Result<Vec<OpId>, IrError> {
+        if !self.has_edge(from, to) {
+            return Err(IrError::MissingEdge(from, to));
+        }
+        let ids: Vec<OpId> = chain
+            .into_iter()
+            .map(|(kind, delay, label)| self.add_op(kind, delay, label))
+            .collect();
+        if ids.is_empty() {
+            return Ok(ids);
+        }
+        self.remove_edge(from, to)?;
+        let mut prev = from;
+        for &v in &ids {
+            self.add_edge(prev, v)?;
+            // Pass-through value semantics for the inserted chain.
+            self.ops[v.index()].operands = vec![Operand::Op(prev)];
+            prev = v;
+        }
+        self.add_edge(prev, to)?;
+        // The consumer now reads the chain's tail instead of `from`.
+        for operand in &mut self.ops[to.index()].operands {
+            if *operand == Operand::Op(from) {
+                *operand = Operand::Op(prev);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// The operation kind of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn kind(&self, v: OpId) -> OpKind {
+        self.ops[v.index()].kind
+    }
+
+    /// The delay `D_G(v)`.
+    pub fn delay(&self, v: OpId) -> u64 {
+        self.ops[v.index()].delay
+    }
+
+    /// Replaces the delay of `v` (used when physical design refines
+    /// estimates).
+    pub fn set_delay(&mut self, v: OpId, delay: u64) {
+        self.ops[v.index()].delay = delay;
+    }
+
+    /// Replaces the kind of `v` (used when register allocation resolves a
+    /// `Phi` into a `Move` or a `Nop`).
+    pub fn set_kind(&mut self, v: OpId, kind: OpKind) {
+        self.ops[v.index()].kind = kind;
+    }
+
+    /// The human-readable label of `v`.
+    pub fn label(&self, v: OpId) -> &str {
+        &self.ops[v.index()].label
+    }
+
+    /// Immediate predecessors of `v`.
+    pub fn preds(&self, v: OpId) -> &[OpId] {
+        &self.preds[v.index()]
+    }
+
+    /// Immediate successors of `v`.
+    pub fn succs(&self, v: OpId) -> &[OpId] {
+        &self.succs[v.index()]
+    }
+
+    /// Iterator over all operation ids in index order.
+    pub fn op_ids(&self) -> OpIdIter {
+        OpIdIter {
+            next: 0,
+            len: self.len(),
+        }
+    }
+
+    /// Iterator over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            from: 0,
+            offset: 0,
+        }
+    }
+
+    /// Operations without predecessors (the paper's "primary inputs").
+    pub fn sources(&self) -> Vec<OpId> {
+        self.op_ids().filter(|&v| self.preds(v).is_empty()).collect()
+    }
+
+    /// Operations without successors (the paper's "primary outputs").
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.op_ids().filter(|&v| self.succs(v).is_empty()).collect()
+    }
+
+    /// Counts the operations of each kind; pairs are sorted by kind.
+    pub fn kind_histogram(&self) -> Vec<(OpKind, usize)> {
+        let mut hist: Vec<(OpKind, usize)> = Vec::new();
+        for v in self.op_ids() {
+            let k = self.kind(v);
+            match hist.iter_mut().find(|(kk, _)| *kk == k) {
+                Some((_, n)) => *n += 1,
+                None => hist.push((k, 1)),
+            }
+        }
+        hist.sort_by_key(|&(k, _)| k);
+        hist
+    }
+
+    /// Total delay of all operations (an upper bound on the diameter).
+    pub fn total_delay(&self) -> u64 {
+        self.ops.iter().map(|o| o.delay).sum()
+    }
+
+    /// Checks that the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Cycle`] carrying one vertex on a cycle.
+    pub fn validate(&self) -> Result<(), IrError> {
+        crate::algo::topo_order(self).map(|_| ())
+    }
+
+    fn check(&self, v: OpId) -> Result<(), IrError> {
+        if v.index() < self.len() {
+            Ok(())
+        } else {
+            Err(IrError::UnknownOp(v))
+        }
+    }
+}
+
+/// Iterator over operation ids, returned by [`PrecedenceGraph::op_ids`].
+#[derive(Clone, Debug)]
+pub struct OpIdIter {
+    next: usize,
+    len: usize,
+}
+
+impl Iterator for OpIdIter {
+    type Item = OpId;
+
+    fn next(&mut self) -> Option<OpId> {
+        if self.next < self.len {
+            let id = OpId::from_index(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for OpIdIter {}
+
+/// Iterator over edges, returned by [`PrecedenceGraph::edges`].
+#[derive(Clone, Debug)]
+pub struct EdgeIter<'a> {
+    graph: &'a PrecedenceGraph,
+    from: usize,
+    offset: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (OpId, OpId);
+
+    fn next(&mut self) -> Option<(OpId, OpId)> {
+        while self.from < self.graph.len() {
+            let succs = &self.graph.succs[self.from];
+            if self.offset < succs.len() {
+                let e = (OpId::from_index(self.from), succs[self.offset]);
+                self.offset += 1;
+                return Some(e);
+            }
+            self.from += 1;
+            self.offset = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    fn diamond() -> (PrecedenceGraph, [OpId; 4]) {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let b = g.add_op(OpKind::Mul, 2, "b");
+        let c = g.add_op(OpKind::Sub, 1, "c");
+        let d = g.add_op(OpKind::Add, 1, "d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn empty_graph_has_no_ops_or_edges() {
+        let g = PrecedenceGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn add_op_assigns_dense_ids() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(a.index(), 0);
+        assert_eq!(d.index(), 3);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.kind(b), OpKind::Mul);
+        assert_eq!(g.delay(b), 2);
+        assert_eq!(g.label(c), "c");
+    }
+
+    #[test]
+    fn edges_are_recorded_both_ways() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.preds(d).len(), 2);
+        assert_eq!(g.succs(a).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let (mut g, [a, b, _, _]) = diamond();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.succs(a).iter().filter(|&&s| s == b).count(), 1);
+    }
+
+    #[test]
+    fn self_edge_is_rejected() {
+        let (mut g, [a, ..]) = diamond();
+        assert_eq!(g.add_edge(a, a), Err(IrError::SelfEdge(a)));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_rejected() {
+        let (mut g, [a, ..]) = diamond();
+        let bogus = OpId::from_index(99);
+        assert_eq!(g.add_edge(a, bogus), Err(IrError::UnknownOp(bogus)));
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let (mut g, [a, b, _, d]) = diamond();
+        g.remove_edge(b, d).unwrap();
+        assert!(!g.has_edge(b, d));
+        assert_eq!(g.preds(d).len(), 1);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.remove_edge(a, d), Err(IrError::MissingEdge(a, d)));
+        // `a -> b` untouched.
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn splice_replaces_edge_with_chain() {
+        let (mut g, [_, b, _, d]) = diamond();
+        let inserted = g
+            .splice_on_edge(
+                b,
+                d,
+                [
+                    (OpKind::Store, 1, "st".to_string()),
+                    (OpKind::Load, 1, "ld".to_string()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(inserted.len(), 2);
+        assert!(!g.has_edge(b, d));
+        assert!(g.has_edge(b, inserted[0]));
+        assert!(g.has_edge(inserted[0], inserted[1]));
+        assert!(g.has_edge(inserted[1], d));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn splice_on_missing_edge_fails() {
+        let (mut g, [a, _, _, d]) = diamond();
+        let err = g.splice_on_edge(a, d, [(OpKind::Nop, 0, String::new())]);
+        assert_eq!(err, Err(IrError::MissingEdge(a, d)));
+    }
+
+    #[test]
+    fn splice_with_empty_chain_keeps_edge() {
+        let (mut g, [a, b, _, _]) = diamond();
+        let inserted = g.splice_on_edge(a, b, std::iter::empty()).unwrap();
+        assert!(inserted.is_empty());
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn kind_histogram_counts() {
+        let (g, _) = diamond();
+        let hist = g.kind_histogram();
+        assert_eq!(
+            hist,
+            vec![(OpKind::Add, 2), (OpKind::Sub, 1), (OpKind::Mul, 1)]
+        );
+    }
+
+    #[test]
+    fn cycle_detected_by_validate() {
+        let (mut g, [a, b, _, d]) = diamond();
+        g.add_edge(d, a).unwrap();
+        assert!(matches!(g.validate(), Err(IrError::Cycle(_))));
+        let _ = b;
+    }
+
+    #[test]
+    fn edge_iter_sees_every_edge_once() {
+        let (g, _) = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        let mut dedup = edges.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn total_delay_sums_delays() {
+        let (g, _) = diamond();
+        assert_eq!(g.total_delay(), 5);
+    }
+
+    #[test]
+    fn op_id_iter_is_exact_size() {
+        let (g, _) = diamond();
+        let it = g.op_ids();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.collect::<Vec<_>>().len(), 4);
+    }
+
+    #[test]
+    fn display_and_debug_for_op_id() {
+        let v = OpId::from_index(7);
+        assert_eq!(format!("{v:?}"), "op7");
+        assert_eq!(format!("{v}"), "op7");
+    }
+}

@@ -1,0 +1,297 @@
+//! Operation kinds, resource classes and the delay model.
+
+use std::fmt;
+
+/// The behavioral operation implemented by a vertex of the precedence graph.
+///
+/// The set covers the operations appearing in the paper's benchmarks and in
+/// the refinement scenarios of its Section 1 (spill `Load`/`Store`, SSA `Phi`
+/// resolved to `Move`, interconnect `WireDelay`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Integer/fixed-point addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Relational comparison (`<`, `<=`, ...).
+    Cmp,
+    /// Barrel shift.
+    Shl,
+    /// Bitwise logic (and/or/xor).
+    Logic,
+    /// Load from background memory (spill reload).
+    Load,
+    /// Store to background memory (spill).
+    Store,
+    /// Register-to-register move (resolved SSA phi).
+    Move,
+    /// SSA phi node, not yet resolved by register allocation.
+    Phi,
+    /// Pure interconnect delay inserted after physical design.
+    WireDelay,
+    /// No operation (structural placeholder).
+    Nop,
+}
+
+impl OpKind {
+    /// All kinds, for exhaustive iteration in tests and generators.
+    pub const ALL: [OpKind; 13] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Cmp,
+        OpKind::Shl,
+        OpKind::Logic,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Move,
+        OpKind::Phi,
+        OpKind::WireDelay,
+        OpKind::Nop,
+    ];
+
+    /// The class of functional unit able to execute this operation.
+    pub fn resource_class(self) -> ResourceClass {
+        match self {
+            OpKind::Add | OpKind::Sub | OpKind::Cmp | OpKind::Logic => ResourceClass::Alu,
+            OpKind::Mul => ResourceClass::Multiplier,
+            OpKind::Div => ResourceClass::Divider,
+            OpKind::Shl => ResourceClass::Shifter,
+            OpKind::Load | OpKind::Store => ResourceClass::MemPort,
+            // Register-to-register moves (resolved phis) ride the
+            // interconnect, not a functional unit.
+            OpKind::Move | OpKind::Phi | OpKind::WireDelay | OpKind::Nop => ResourceClass::Wire,
+        }
+    }
+
+    /// Short mnemonic used by reports and DOT labels.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+            OpKind::Mul => "*",
+            OpKind::Div => "/",
+            OpKind::Cmp => "<",
+            OpKind::Shl => "<<",
+            OpKind::Logic => "&",
+            OpKind::Load => "ld",
+            OpKind::Store => "st",
+            OpKind::Move => "mv",
+            OpKind::Phi => "phi",
+            OpKind::WireDelay => "wd",
+            OpKind::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A class of functional unit in the datapath.
+///
+/// Threads of the threaded scheduler correspond to functional-unit
+/// *instances*; each instance belongs to one class and executes only
+/// compatible [`OpKind`]s. `Wire` is the pseudo-class of zero-resource
+/// vertices (wire delays, unresolved phis); they never occupy a thread.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ResourceClass {
+    /// Adder / subtracter / comparator / logic unit ("+/-" in the paper).
+    Alu,
+    /// Multiplier ("*" in the paper).
+    Multiplier,
+    /// Divider.
+    Divider,
+    /// Shifter.
+    Shifter,
+    /// Memory port used by spill `Load`/`Store` operations.
+    MemPort,
+    /// No resource needed (interconnect, placeholders).
+    Wire,
+}
+
+impl ResourceClass {
+    /// All resource-consuming classes (everything except [`ResourceClass::Wire`]).
+    pub const UNITS: [ResourceClass; 5] = [
+        ResourceClass::Alu,
+        ResourceClass::Multiplier,
+        ResourceClass::Divider,
+        ResourceClass::Shifter,
+        ResourceClass::MemPort,
+    ];
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceClass::Alu => "ALU",
+            ResourceClass::Multiplier => "MUL",
+            ResourceClass::Divider => "DIV",
+            ResourceClass::Shifter => "SHF",
+            ResourceClass::MemPort => "MEM",
+            ResourceClass::Wire => "WIRE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps operation kinds to delays (in control steps).
+///
+/// The classical HLS assumption — used by the paper's evaluation — is a
+/// two-cycle multiplier and single-cycle ALU operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DelayModel {
+    add: u64,
+    sub: u64,
+    mul: u64,
+    div: u64,
+    cmp: u64,
+    shl: u64,
+    logic: u64,
+    load: u64,
+    store: u64,
+    mv: u64,
+    phi: u64,
+    wire: u64,
+    nop: u64,
+}
+
+impl DelayModel {
+    /// The classical model: `mul = 2`, `div = 3`, memory = 1, rest = 1.
+    pub fn classic() -> Self {
+        DelayModel {
+            add: 1,
+            sub: 1,
+            mul: 2,
+            div: 3,
+            cmp: 1,
+            shl: 1,
+            logic: 1,
+            load: 1,
+            store: 1,
+            mv: 1,
+            phi: 0,
+            wire: 1,
+            nop: 0,
+        }
+    }
+
+    /// Every operation takes one control step (phis and nops are free).
+    pub fn unit() -> Self {
+        DelayModel {
+            add: 1,
+            sub: 1,
+            mul: 1,
+            div: 1,
+            cmp: 1,
+            shl: 1,
+            logic: 1,
+            load: 1,
+            store: 1,
+            mv: 1,
+            phi: 0,
+            wire: 1,
+            nop: 0,
+        }
+    }
+
+    /// Delay of one operation kind under this model.
+    pub fn delay_of(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Add => self.add,
+            OpKind::Sub => self.sub,
+            OpKind::Mul => self.mul,
+            OpKind::Div => self.div,
+            OpKind::Cmp => self.cmp,
+            OpKind::Shl => self.shl,
+            OpKind::Logic => self.logic,
+            OpKind::Load => self.load,
+            OpKind::Store => self.store,
+            OpKind::Move => self.mv,
+            OpKind::Phi => self.phi,
+            OpKind::WireDelay => self.wire,
+            OpKind::Nop => self.nop,
+        }
+    }
+
+    /// Returns a copy with the multiplier delay replaced.
+    pub fn with_mul(mut self, mul: u64) -> Self {
+        self.mul = mul;
+        self
+    }
+
+    /// Returns a copy with the wire-delay op delay replaced (used when the
+    /// physical substrate quantises long wires into multi-cycle hops).
+    pub fn with_wire(mut self, wire: u64) -> Self {
+        self.wire = wire;
+        self
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::classic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_delays_match_the_paper_assumption() {
+        let dm = DelayModel::classic();
+        assert_eq!(dm.delay_of(OpKind::Mul), 2);
+        assert_eq!(dm.delay_of(OpKind::Add), 1);
+        assert_eq!(dm.delay_of(OpKind::Sub), 1);
+        assert_eq!(dm.delay_of(OpKind::Cmp), 1);
+    }
+
+    #[test]
+    fn unit_delays_are_one_for_real_ops() {
+        let dm = DelayModel::unit();
+        for kind in OpKind::ALL {
+            match kind {
+                OpKind::Phi | OpKind::Nop => assert_eq!(dm.delay_of(kind), 0),
+                _ => assert_eq!(dm.delay_of(kind), 1, "{kind:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resource_classes_partition_kinds() {
+        assert_eq!(OpKind::Add.resource_class(), ResourceClass::Alu);
+        assert_eq!(OpKind::Sub.resource_class(), ResourceClass::Alu);
+        assert_eq!(OpKind::Cmp.resource_class(), ResourceClass::Alu);
+        assert_eq!(OpKind::Mul.resource_class(), ResourceClass::Multiplier);
+        assert_eq!(OpKind::Load.resource_class(), ResourceClass::MemPort);
+        assert_eq!(OpKind::Store.resource_class(), ResourceClass::MemPort);
+        assert_eq!(OpKind::WireDelay.resource_class(), ResourceClass::Wire);
+        assert_eq!(OpKind::Phi.resource_class(), ResourceClass::Wire);
+        assert_eq!(OpKind::Move.resource_class(), ResourceClass::Wire);
+    }
+
+    #[test]
+    fn with_mul_overrides_only_mul() {
+        let dm = DelayModel::classic().with_mul(5);
+        assert_eq!(dm.delay_of(OpKind::Mul), 5);
+        assert_eq!(dm.delay_of(OpKind::Add), 1);
+    }
+
+    #[test]
+    fn mnemonics_are_nonempty_and_displayed() {
+        for kind in OpKind::ALL {
+            assert!(!kind.mnemonic().is_empty());
+            assert_eq!(format!("{kind}"), kind.mnemonic());
+        }
+        assert_eq!(format!("{}", ResourceClass::Alu), "ALU");
+        assert_eq!(format!("{}", ResourceClass::Multiplier), "MUL");
+    }
+}

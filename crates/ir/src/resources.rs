@@ -1,0 +1,190 @@
+//! Resource (functional-unit) allocations.
+//!
+//! A [`ResourceSet`] describes the datapath's functional-unit instances.
+//! In the threaded scheduler each unit becomes one *thread*; in the list
+//! scheduler each unit is a slot that an operation can occupy for its
+//! delay. The paper's experiments use allocations written like `2+/- 2*`
+//! (two ALUs, two multipliers); [`ResourceSet::classic`] builds those.
+
+use crate::{OpKind, ResourceClass};
+use std::fmt;
+
+/// A fixed allocation of functional-unit instances.
+///
+/// Units are indexed `0..k()`. A *uniform* set (built by
+/// [`ResourceSet::uniform`]) models the paper's simplifying assumption
+/// that "each functional unit can implement all the operations"; a typed
+/// set restricts each unit to the operations of its [`ResourceClass`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResourceSet {
+    units: Vec<Option<ResourceClass>>,
+}
+
+impl ResourceSet {
+    /// Creates an empty allocation; add units with [`ResourceSet::with`].
+    pub fn new() -> Self {
+        ResourceSet { units: Vec::new() }
+    }
+
+    /// Creates `k` universal units (any operation can run on any unit).
+    pub fn uniform(k: usize) -> Self {
+        ResourceSet {
+            units: vec![None; k],
+        }
+    }
+
+    /// The paper's Figure 3 style allocation: `alus` ALUs plus `muls`
+    /// multipliers.
+    pub fn classic(alus: usize, muls: usize) -> Self {
+        ResourceSet::new()
+            .with(ResourceClass::Alu, alus)
+            .with(ResourceClass::Multiplier, muls)
+    }
+
+    /// Adds `count` units of `class` (builder style).
+    #[must_use]
+    pub fn with(mut self, class: ResourceClass, count: usize) -> Self {
+        for _ in 0..count {
+            self.units.push(Some(class));
+        }
+        self
+    }
+
+    /// Number of functional-unit instances.
+    pub fn k(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `true` if no units were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The class of unit `i`, or `None` for a universal unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.k()`.
+    pub fn class(&self, i: usize) -> Option<ResourceClass> {
+        self.units[i]
+    }
+
+    /// `true` if operation kind `kind` may execute on unit `i`.
+    ///
+    /// Zero-resource kinds ([`ResourceClass::Wire`]) are compatible with
+    /// no unit — they never occupy one.
+    pub fn compatible(&self, i: usize, kind: OpKind) -> bool {
+        let need = kind.resource_class();
+        if need == ResourceClass::Wire {
+            return false;
+        }
+        match self.units[i] {
+            None => true,
+            Some(class) => class == need,
+        }
+    }
+
+    /// Indices of the units able to execute `kind`.
+    pub fn compatible_units(&self, kind: OpKind) -> Vec<usize> {
+        (0..self.k()).filter(|&i| self.compatible(i, kind)).collect()
+    }
+
+    /// Number of units of the given class (universal units match all).
+    pub fn count_of(&self, class: ResourceClass) -> usize {
+        self.units
+            .iter()
+            .filter(|u| u.is_none() || **u == Some(class))
+            .count()
+    }
+}
+
+impl Default for ResourceSet {
+    fn default() -> Self {
+        ResourceSet::new()
+    }
+}
+
+impl fmt::Display for ResourceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut groups: Vec<(Option<ResourceClass>, usize)> = Vec::new();
+        for &u in &self.units {
+            match groups.iter_mut().find(|(c, _)| *c == u) {
+                Some((_, n)) => *n += 1,
+                None => groups.push((u, 1)),
+            }
+        }
+        let mut first = true;
+        for (c, n) in groups {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            match c {
+                Some(class) => write!(f, "{n} {class}")?,
+                None => write!(f, "{n} ANY")?,
+            }
+        }
+        if first {
+            write!(f, "(no units)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_builds_typed_units() {
+        let r = ResourceSet::classic(2, 1);
+        assert_eq!(r.k(), 3);
+        assert_eq!(r.class(0), Some(ResourceClass::Alu));
+        assert_eq!(r.class(2), Some(ResourceClass::Multiplier));
+        assert_eq!(r.count_of(ResourceClass::Alu), 2);
+        assert_eq!(r.count_of(ResourceClass::Multiplier), 1);
+    }
+
+    #[test]
+    fn uniform_units_accept_everything_but_wire() {
+        let r = ResourceSet::uniform(2);
+        assert!(r.compatible(0, OpKind::Mul));
+        assert!(r.compatible(1, OpKind::Add));
+        assert!(r.compatible(0, OpKind::Load));
+        assert!(!r.compatible(0, OpKind::WireDelay));
+        assert!(!r.compatible(0, OpKind::Phi));
+    }
+
+    #[test]
+    fn typed_units_enforce_class() {
+        let r = ResourceSet::classic(1, 1);
+        assert!(r.compatible(0, OpKind::Add));
+        assert!(r.compatible(0, OpKind::Sub));
+        assert!(r.compatible(0, OpKind::Cmp));
+        assert!(!r.compatible(0, OpKind::Mul));
+        assert!(r.compatible(1, OpKind::Mul));
+        assert!(!r.compatible(1, OpKind::Add));
+        assert_eq!(r.compatible_units(OpKind::Mul), vec![1]);
+    }
+
+    #[test]
+    fn memory_ports_serve_loads_and_stores() {
+        let r = ResourceSet::classic(1, 1).with(ResourceClass::MemPort, 1);
+        assert_eq!(r.compatible_units(OpKind::Load), vec![2]);
+        assert_eq!(r.compatible_units(OpKind::Store), vec![2]);
+    }
+
+    #[test]
+    fn display_groups_units() {
+        assert_eq!(ResourceSet::classic(2, 2).to_string(), "2 ALU, 2 MUL");
+        assert_eq!(ResourceSet::uniform(3).to_string(), "3 ANY");
+        assert_eq!(ResourceSet::new().to_string(), "(no units)");
+    }
+
+    #[test]
+    fn empty_set_has_no_compatible_units() {
+        let r = ResourceSet::new();
+        assert!(r.is_empty());
+        assert!(r.compatible_units(OpKind::Add).is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! Hard schedules: the final operation → time-step mapping.
+//!
+//! A *hard* schedule (the paper's traditional notion) assigns every
+//! operation a start step and, for resource-consuming operations, a
+//! functional unit. Both the baseline schedulers and the threaded
+//! scheduler's extraction produce this type; [`validate`] checks the
+//! precedence and resource-exclusion conditions that make it legal.
+
+use crate::{OpId, PrecedenceGraph, ResourceClass, ResourceSet};
+use std::error::Error;
+use std::fmt;
+
+/// A complete operation → (start step, unit) assignment for one graph.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HardSchedule {
+    start: Vec<Option<u64>>,
+    unit: Vec<Option<usize>>,
+}
+
+impl HardSchedule {
+    /// An empty schedule for a graph of `n` operations.
+    pub fn new(n: usize) -> Self {
+        HardSchedule {
+            start: vec![None; n],
+            unit: vec![None; n],
+        }
+    }
+
+    /// Number of operation slots.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// `true` if the schedule covers zero operations.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Assigns `v` a start step and optional unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn assign(&mut self, v: OpId, start: u64, unit: Option<usize>) {
+        self.start[v.index()] = Some(start);
+        self.unit[v.index()] = unit;
+    }
+
+    /// The start step of `v`, if assigned.
+    pub fn start(&self, v: OpId) -> Option<u64> {
+        self.start.get(v.index()).copied().flatten()
+    }
+
+    /// The functional unit of `v`, if any.
+    pub fn unit(&self, v: OpId) -> Option<usize> {
+        self.unit.get(v.index()).copied().flatten()
+    }
+
+    /// The finish step of `v` (start + delay), if assigned.
+    pub fn finish(&self, g: &PrecedenceGraph, v: OpId) -> Option<u64> {
+        self.start(v).map(|s| s + g.delay(v))
+    }
+
+    /// Schedule length in control steps: `max(start + delay)` over all
+    /// assigned operations (0 when nothing is assigned).
+    pub fn length(&self, g: &PrecedenceGraph) -> u64 {
+        g.op_ids()
+            .filter_map(|v| self.finish(g, v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shifts every operation starting at or after `at` down by `by`
+    /// steps. This is the "trivial fix" of the paper's Figure 1(c)/(d):
+    /// new rows are opened in the middle of a fixed schedule.
+    pub fn shift_from(&mut self, at: u64, by: u64) {
+        for s in self.start.iter_mut().flatten() {
+            if *s >= at {
+                *s += by;
+            }
+        }
+    }
+
+    /// Grows the slot vectors to cover a graph that gained operations.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.start.len() {
+            self.start.resize(n, None);
+            self.unit.resize(n, None);
+        }
+    }
+}
+
+/// Violations reported by [`validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// An operation has no start time.
+    Unscheduled(OpId),
+    /// An edge `(p, q)` where `q` starts before `p` finishes.
+    PrecedenceViolation(OpId, OpId),
+    /// A resource-consuming operation has no unit.
+    NoUnit(OpId),
+    /// An operation was bound to a unit of the wrong class.
+    WrongUnitClass(OpId, usize),
+    /// Two operations overlap on the same unit.
+    UnitOverlap(OpId, OpId, usize),
+    /// An operation references a unit index outside the resource set.
+    UnknownUnit(OpId, usize),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unscheduled(v) => write!(f, "operation {v} has no start time"),
+            ScheduleError::PrecedenceViolation(p, q) => {
+                write!(f, "operation {q} starts before its predecessor {p} finishes")
+            }
+            ScheduleError::NoUnit(v) => write!(f, "operation {v} has no functional unit"),
+            ScheduleError::WrongUnitClass(v, u) => {
+                write!(f, "operation {v} bound to incompatible unit {u}")
+            }
+            ScheduleError::UnitOverlap(a, b, u) => {
+                write!(f, "operations {a} and {b} overlap on unit {u}")
+            }
+            ScheduleError::UnknownUnit(v, u) => {
+                write!(f, "operation {v} bound to unknown unit {u}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Checks that `sched` is a legal hard schedule of `g` under `resources`:
+/// complete, precedence-consistent, and with exclusive, class-compatible
+/// unit usage.
+///
+/// # Errors
+///
+/// Returns the first violation found (deterministic order: completeness,
+/// precedence, binding, overlap).
+pub fn validate(
+    g: &PrecedenceGraph,
+    resources: &ResourceSet,
+    sched: &HardSchedule,
+) -> Result<(), ScheduleError> {
+    for v in g.op_ids() {
+        if sched.start(v).is_none() {
+            return Err(ScheduleError::Unscheduled(v));
+        }
+    }
+    for (p, q) in g.edges() {
+        let pf = sched.finish(g, p).expect("checked above");
+        let qs = sched.start(q).expect("checked above");
+        if qs < pf {
+            return Err(ScheduleError::PrecedenceViolation(p, q));
+        }
+    }
+    let mut by_unit: Vec<Vec<(u64, u64, OpId)>> = vec![Vec::new(); resources.k()];
+    for v in g.op_ids() {
+        let needs_unit = g.kind(v).resource_class() != ResourceClass::Wire;
+        match sched.unit(v) {
+            None if needs_unit => return Err(ScheduleError::NoUnit(v)),
+            None => {}
+            Some(u) => {
+                if u >= resources.k() {
+                    return Err(ScheduleError::UnknownUnit(v, u));
+                }
+                if !resources.compatible(u, g.kind(v)) {
+                    return Err(ScheduleError::WrongUnitClass(v, u));
+                }
+                let s = sched.start(v).expect("checked above");
+                // Zero-delay ops never occupy the unit.
+                if g.delay(v) > 0 {
+                    by_unit[u].push((s, s + g.delay(v), v));
+                }
+            }
+        }
+    }
+    for (u, intervals) in by_unit.iter_mut().enumerate() {
+        intervals.sort();
+        for w in intervals.windows(2) {
+            let (_, fin, a) = w[0];
+            let (start, _, b) = w[1];
+            if start < fin {
+                return Err(ScheduleError::UnitOverlap(a, b, u));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Formats `sched` as a step-by-step table (one line per control step,
+/// listing the operations that start there), for reports and examples.
+pub fn format_steps(g: &PrecedenceGraph, sched: &HardSchedule) -> String {
+    use std::fmt::Write as _;
+    let mut by_step: Vec<(u64, OpId)> = g
+        .op_ids()
+        .filter_map(|v| sched.start(v).map(|s| (s, v)))
+        .collect();
+    by_step.sort();
+    let mut out = String::new();
+    let mut cur: Option<u64> = None;
+    for (s, v) in by_step {
+        if cur != Some(s) {
+            if cur.is_some() {
+                out.push('\n');
+            }
+            let _ = write!(out, "step {s:>3}:");
+            cur = Some(s);
+        }
+        let unit = match sched.unit(v) {
+            Some(u) => format!("@u{u}"),
+            None => String::new(),
+        };
+        let _ = write!(out, " {}({}){}", g.label(v), g.kind(v), unit);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    fn two_op_graph() -> (PrecedenceGraph, OpId, OpId) {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Mul, 2, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, b).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (g, a, b) = two_op_graph();
+        let r = ResourceSet::classic(1, 1);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(1));
+        s.assign(b, 2, Some(0));
+        assert_eq!(validate(&g, &r, &s), Ok(()));
+        assert_eq!(s.length(&g), 3);
+        assert_eq!(s.finish(&g, a), Some(2));
+    }
+
+    #[test]
+    fn missing_op_is_reported() {
+        let (g, a, _) = two_op_graph();
+        let r = ResourceSet::classic(1, 1);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(1));
+        assert!(matches!(
+            validate(&g, &r, &s),
+            Err(ScheduleError::Unscheduled(_))
+        ));
+    }
+
+    #[test]
+    fn precedence_violation_is_reported() {
+        let (g, a, b) = two_op_graph();
+        let r = ResourceSet::classic(1, 1);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(1));
+        s.assign(b, 1, Some(0)); // a finishes at 2
+        assert_eq!(
+            validate(&g, &r, &s),
+            Err(ScheduleError::PrecedenceViolation(a, b))
+        );
+    }
+
+    #[test]
+    fn wrong_unit_class_is_reported() {
+        let (g, a, b) = two_op_graph();
+        let r = ResourceSet::classic(1, 1);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(0)); // mul on the ALU
+        s.assign(b, 2, Some(0));
+        assert_eq!(validate(&g, &r, &s), Err(ScheduleError::WrongUnitClass(a, 0)));
+    }
+
+    #[test]
+    fn overlap_on_unit_is_reported() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Mul, 2, "a");
+        let b = g.add_op(OpKind::Mul, 2, "b");
+        let r = ResourceSet::classic(0, 1);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(0));
+        s.assign(b, 1, Some(0));
+        assert_eq!(validate(&g, &r, &s), Err(ScheduleError::UnitOverlap(a, b, 0)));
+        // Back-to-back is fine.
+        s.assign(b, 2, Some(0));
+        assert_eq!(validate(&g, &r, &s), Ok(()));
+    }
+
+    #[test]
+    fn wire_ops_need_no_unit() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let w = g.add_op(OpKind::WireDelay, 1, "w");
+        g.add_edge(a, w).unwrap();
+        let r = ResourceSet::classic(1, 0);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(0));
+        s.assign(w, 1, None);
+        assert_eq!(validate(&g, &r, &s), Ok(()));
+    }
+
+    #[test]
+    fn unknown_unit_is_reported() {
+        let (g, a, b) = two_op_graph();
+        let r = ResourceSet::classic(1, 1);
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(7));
+        s.assign(b, 2, Some(0));
+        assert_eq!(validate(&g, &r, &s), Err(ScheduleError::UnknownUnit(a, 7)));
+    }
+
+    #[test]
+    fn shift_from_opens_a_gap() {
+        let (g, a, b) = two_op_graph();
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(1));
+        s.assign(b, 2, Some(0));
+        s.shift_from(2, 3);
+        assert_eq!(s.start(a), Some(0));
+        assert_eq!(s.start(b), Some(5));
+        assert_eq!(s.length(&g), 6);
+    }
+
+    #[test]
+    fn grow_preserves_existing_assignments() {
+        let (g, a, _) = two_op_graph();
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 4, None);
+        s.grow(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.start(a), Some(4));
+        s.grow(3);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn format_steps_lists_ops_by_step() {
+        let (g, a, b) = two_op_graph();
+        let mut s = HardSchedule::new(g.len());
+        s.assign(a, 0, Some(1));
+        s.assign(b, 2, Some(0));
+        let text = format_steps(&g, &s);
+        assert!(text.contains("step   0: a(*)@u1"));
+        assert!(text.contains("step   2: b(+)@u0"));
+    }
+
+    #[test]
+    fn length_of_empty_schedule_is_zero() {
+        let g = PrecedenceGraph::new();
+        let s = HardSchedule::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.length(&g), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Operand inference for graphs built without value semantics.
+//!
+//! Hand-built benchmark DFGs record dependence edges but not operand
+//! order. [`infer`] fills in simulatable operands: dependence producers
+//! in edge order, padded with synthesized named inputs up to the
+//! operation's natural arity. The result is deterministic, so two
+//! simulations of the same graph agree.
+
+use crate::{OpKind, Operand, PrecedenceGraph};
+
+/// Natural operand count of an operation kind, given `have` wired
+/// producers.
+fn arity(kind: OpKind, have: usize) -> usize {
+    match kind {
+        OpKind::Load | OpKind::Store | OpKind::Move | OpKind::WireDelay | OpKind::Nop => {
+            have.max(1)
+        }
+        OpKind::Phi => have.max(3),
+        _ => have.max(2),
+    }
+}
+
+/// Fills in operands for every operation that has none recorded:
+/// dependence producers first (in edge order), then synthesized inputs
+/// named `<label>_in<i>`.
+pub fn infer(g: &mut PrecedenceGraph) {
+    for v in g.op_ids() {
+        if !g.operands(v).is_empty() {
+            continue;
+        }
+        let mut operands: Vec<Operand> =
+            g.preds(v).iter().map(|&p| Operand::Op(p)).collect();
+        let want = arity(g.kind(v), operands.len());
+        let mut i = 0;
+        while operands.len() < want {
+            operands.push(Operand::Input(format!("{}_in{i}", g.label(v))));
+            i += 1;
+        }
+        g.set_operands(v, operands);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_graphs;
+
+    #[test]
+    fn infer_covers_every_op_deterministically() {
+        let mut g = bench_graphs::ewf();
+        infer(&mut g);
+        for v in g.op_ids() {
+            assert!(!g.operands(v).is_empty(), "{v} has operands");
+            assert!(g.operands(v).len() >= 2, "adds/muls are binary");
+        }
+        let mut g2 = bench_graphs::ewf();
+        infer(&mut g2);
+        for v in g.op_ids() {
+            assert_eq!(g.operands(v), g2.operands(v));
+        }
+    }
+
+    #[test]
+    fn infer_respects_existing_operands() {
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        g.set_operands(a, vec![Operand::Const(1), Operand::Const(2)]);
+        infer(&mut g);
+        assert_eq!(
+            g.operands(a),
+            &[Operand::Const(1), Operand::Const(2)]
+        );
+    }
+
+    #[test]
+    fn unary_kinds_get_one_operand() {
+        let mut g = PrecedenceGraph::new();
+        let w = g.add_op(OpKind::WireDelay, 1, "w");
+        infer(&mut g);
+        assert_eq!(g.operands(w).len(), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! A line-oriented text format for precedence graphs (`.dfg`).
+//!
+//! Lets users ship their own workloads to the schedulers and lets the
+//! benchmark DFGs be inspected/diffed as text. Format:
+//!
+//! ```text
+//! # comment
+//! op <id> <kind> <delay> <label>
+//! edge <from> <to>
+//! operand <id> op:<id> | const:<int> | in:<name>
+//! ```
+//!
+//! Ids are dense indices in declaration order; `kind` uses the
+//! mnemonics of [`OpKind`] plus names (`add`, `mul`, ...).
+
+use crate::{IrError, OpId, OpKind, Operand, PrecedenceGraph};
+use std::error::Error;
+use std::fmt;
+
+/// Parse errors with 1-based line numbers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseDfgError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dfg parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for ParseDfgError {}
+
+fn kind_name(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Add => "add",
+        OpKind::Sub => "sub",
+        OpKind::Mul => "mul",
+        OpKind::Div => "div",
+        OpKind::Cmp => "cmp",
+        OpKind::Shl => "shl",
+        OpKind::Logic => "logic",
+        OpKind::Load => "load",
+        OpKind::Store => "store",
+        OpKind::Move => "move",
+        OpKind::Phi => "phi",
+        OpKind::WireDelay => "wire",
+        OpKind::Nop => "nop",
+    }
+}
+
+fn kind_from(name: &str) -> Option<OpKind> {
+    OpKind::ALL.into_iter().find(|&k| kind_name(k) == name)
+}
+
+/// Serializes a graph to the text format.
+pub fn to_text(g: &PrecedenceGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# soft-hls dfg: {} ops, {} edges", g.len(), g.edge_count());
+    for v in g.op_ids() {
+        let _ = writeln!(
+            out,
+            "op {} {} {} {}",
+            v.index(),
+            kind_name(g.kind(v)),
+            g.delay(v),
+            g.label(v)
+        );
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "edge {} {}", a.index(), b.index());
+    }
+    for v in g.op_ids() {
+        for operand in g.operands(v) {
+            let spec = match operand {
+                Operand::Op(p) => format!("op:{}", p.index()),
+                Operand::Const(c) => format!("const:{c}"),
+                Operand::Input(n) => format!("in:{n}"),
+            };
+            let _ = writeln!(out, "operand {} {}", v.index(), spec);
+        }
+    }
+    out
+}
+
+/// Parses the text format back into a graph.
+///
+/// # Errors
+///
+/// Returns [`ParseDfgError`] on malformed lines, unknown kinds,
+/// out-of-order ids or invalid edges.
+pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
+    let mut g = PrecedenceGraph::new();
+    let mut operands: Vec<(OpId, Operand)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| ParseDfgError { line: lineno, msg };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("op") => {
+                let id: usize = parse_field(parts.next(), "id", lineno)?;
+                if id != g.len() {
+                    return Err(err(format!("op id {id} out of order (expected {})", g.len())));
+                }
+                let kind_s = parts.next().ok_or_else(|| err("missing kind".into()))?;
+                let kind = kind_from(kind_s)
+                    .ok_or_else(|| err(format!("unknown kind `{kind_s}`")))?;
+                let delay: u64 = parse_field(parts.next(), "delay", lineno)?;
+                let label = parts.collect::<Vec<_>>().join(" ");
+                g.add_op(kind, delay, if label.is_empty() { format!("v{id}") } else { label });
+            }
+            Some("edge") => {
+                let a: usize = parse_field(parts.next(), "from", lineno)?;
+                let b: usize = parse_field(parts.next(), "to", lineno)?;
+                g.add_edge(OpId::from_index(a), OpId::from_index(b))
+                    .map_err(|e: IrError| err(e.to_string()))?;
+            }
+            Some("operand") => {
+                let id: usize = parse_field(parts.next(), "id", lineno)?;
+                if id >= g.len() {
+                    return Err(err(format!("operand for unknown op {id}")));
+                }
+                let spec = parts.next().ok_or_else(|| err("missing operand spec".into()))?;
+                let operand = if let Some(p) = spec.strip_prefix("op:") {
+                    let p: usize = p.parse().map_err(|_| err(format!("bad op ref `{spec}`")))?;
+                    Operand::Op(OpId::from_index(p))
+                } else if let Some(c) = spec.strip_prefix("const:") {
+                    let c: i64 = c.parse().map_err(|_| err(format!("bad const `{spec}`")))?;
+                    Operand::Const(c)
+                } else if let Some(n) = spec.strip_prefix("in:") {
+                    Operand::Input(n.to_string())
+                } else {
+                    return Err(err(format!("unknown operand spec `{spec}`")));
+                };
+                operands.push((OpId::from_index(id), operand));
+            }
+            Some(other) => return Err(err(format!("unknown directive `{other}`"))),
+            None => {}
+        }
+    }
+    // Attach operands after all ops exist.
+    let mut per_op: Vec<Vec<Operand>> = vec![Vec::new(); g.len()];
+    for (v, operand) in operands {
+        per_op[v.index()].push(operand);
+    }
+    for (i, ops) in per_op.into_iter().enumerate() {
+        if !ops.is_empty() {
+            g.set_operands(OpId::from_index(i), ops);
+        }
+    }
+    g.validate()
+        .map_err(|e| ParseDfgError { line: 0, msg: e.to_string() })?;
+    Ok(g)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+    line: usize,
+) -> Result<T, ParseDfgError> {
+    field
+        .ok_or_else(|| ParseDfgError {
+            line,
+            msg: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| ParseDfgError {
+            line,
+            msg: format!("bad {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_graphs, sim_operands};
+
+    #[test]
+    fn roundtrip_preserves_all_benchmarks() {
+        for (name, mut g) in bench_graphs::all() {
+            sim_operands::infer(&mut g);
+            let text = to_text(&g);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back.len(), g.len(), "{name}");
+            assert_eq!(
+                back.edges().collect::<Vec<_>>(),
+                g.edges().collect::<Vec<_>>(),
+                "{name}"
+            );
+            for v in g.op_ids() {
+                assert_eq!(back.kind(v), g.kind(v));
+                assert_eq!(back.delay(v), g.delay(v));
+                assert_eq!(back.label(v), g.label(v));
+                assert_eq!(back.operands(v), g.operands(v));
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = from_text("# hello\n\nop 0 add 1 a\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("op 0 add 1 a\nbogus 1 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_text("op 3 add 1 a\n").unwrap_err();
+        assert!(err.msg.contains("out of order"));
+        let err = from_text("op 0 quux 1 a\n").unwrap_err();
+        assert!(err.msg.contains("unknown kind"));
+        let err = from_text("op 0 add 1 a\nedge 0 7\n").unwrap_err();
+        assert!(err.msg.contains("unknown operation"));
+    }
+
+    #[test]
+    fn cyclic_text_is_rejected() {
+        let text = "op 0 add 1 a\nop 1 add 1 b\nedge 0 1\nedge 1 0\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.msg.contains("cycle"));
+    }
+
+    #[test]
+    fn operand_specs_roundtrip() {
+        let text = "op 0 add 1 a\nop 1 sub 1 b\nedge 0 1\noperand 1 op:0\noperand 1 const:-5\noperand 0 in:x\noperand 0 const:2\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(
+            g.operands(OpId::from_index(1)),
+            &[Operand::Op(OpId::from_index(0)), Operand::Const(-5)]
+        );
+        assert_eq!(
+            g.operands(OpId::from_index(0)),
+            &[Operand::Input("x".into()), Operand::Const(2)]
+        );
+    }
+}

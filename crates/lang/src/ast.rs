@@ -1,0 +1,92 @@
+//! Abstract syntax of the behavioral language.
+
+/// Binary operators, mapped 1:1 onto [`hls_ir::OpKind`]s during lowering.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<` (and `>` with swapped operands)
+    Lt,
+    /// `<<`
+    Shl,
+    /// `&`, `|`, `^` (all lowered to the logic unit)
+    Logic,
+}
+
+impl BinOp {
+    /// The IR operation kind implementing this operator.
+    pub fn op_kind(self) -> hls_ir::OpKind {
+        match self {
+            BinOp::Add => hls_ir::OpKind::Add,
+            BinOp::Sub => hls_ir::OpKind::Sub,
+            BinOp::Mul => hls_ir::OpKind::Mul,
+            BinOp::Div => hls_ir::OpKind::Div,
+            BinOp::Lt => hls_ir::OpKind::Cmp,
+            BinOp::Shl => hls_ir::OpKind::Shl,
+            BinOp::Logic => hls_ir::OpKind::Logic,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Variable reference.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }` (else optional).
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then block.
+        then_blk: Block,
+        /// Else block (possibly empty).
+        else_blk: Block,
+    },
+}
+
+/// A brace-delimited statement list.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// Declared input variables.
+    pub inputs: Vec<String>,
+    /// Declared output variables.
+    pub outputs: Vec<String>,
+    /// Top-level statements.
+    pub body: Block,
+}

@@ -1,0 +1,298 @@
+//! Hand-rolled tokenizer with source positions.
+
+use crate::LangError;
+
+/// Token kinds of the behavioral language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `input` keyword.
+    KwInput,
+    /// `output` keyword.
+    KwOutput,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<<`.
+    Shl,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// The tokenizer. Supports `//` line comments and arbitrary whitespace.
+#[derive(Clone, Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, ending with [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Lex`] on an unexpected character or a
+    /// numeric literal overflow.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(&c) = self.src.get(self.pos) else {
+                out.push(Token { kind: TokenKind::Eof, line, col });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'=' => self.single(TokenKind::Assign),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'&' => self.single(TokenKind::Amp),
+                b'|' => self.single(TokenKind::Pipe),
+                b'^' => self.single(TokenKind::Caret),
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'>' => self.single(TokenKind::Gt),
+                b'<' => {
+                    if self.src.get(self.pos + 1) == Some(&b'<') {
+                        self.advance();
+                        self.advance();
+                        TokenKind::Shl
+                    } else {
+                        self.single(TokenKind::Lt)
+                    }
+                }
+                b'0'..=b'9' => self.number(line, col)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                other => {
+                    return Err(LangError::Lex {
+                        line,
+                        col,
+                        msg: format!("unexpected character `{}`", other as char),
+                    })
+                }
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.advance();
+        kind
+    }
+
+    fn number(&mut self, line: usize, col: usize) -> Result<TokenKind, LangError> {
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.advance();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are utf8");
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| LangError::Lex {
+                line,
+                col,
+                msg: format!("integer literal `{text}` out of range"),
+            })
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.advance();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident is utf8");
+        match text {
+            "input" => TokenKind::KwInput,
+            "output" => TokenKind::KwOutput,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            _ => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.advance(),
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self.src.get(self.pos).is_some_and(|&c| c != b'\n') {
+                        self.advance();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_a_statement() {
+        assert_eq!(
+            kinds("x1 = x + 3;"),
+            vec![
+                TokenKind::Ident("x1".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Int(3),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_lt_and_shl() {
+        assert_eq!(
+            kinds("a < b << 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("b".into()),
+                TokenKind::Shl,
+                TokenKind::Int(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_not_idents() {
+        assert_eq!(
+            kinds("input if else output"),
+            vec![
+                TokenKind::KwInput,
+                TokenKind::KwIf,
+                TokenKind::KwElse,
+                TokenKind::KwOutput,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        assert_eq!(
+            kinds("a // comment + * \n = 1;"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = Lexer::new("a =\n b;").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = Lexer::new("a = $;").tokenize().unwrap_err();
+        assert!(matches!(err, LangError::Lex { col: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_huge_literals() {
+        let err = Lexer::new("a = 99999999999999999999;").tokenize().unwrap_err();
+        assert!(matches!(err, LangError::Lex { .. }));
+    }
+}

@@ -1,0 +1,319 @@
+//! Recursive-descent parser.
+
+use crate::ast::{BinOp, Block, Expr, Program, Stmt};
+use crate::lexer::{Token, TokenKind};
+use crate::LangError;
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+}
+
+/// Parses a token stream (as produced by [`crate::Lexer::tokenize`])
+/// into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Parse`] with the offending position.
+pub fn parse(tokens: &[Token]) -> Result<Program, LangError> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut program = Program::default();
+    loop {
+        match p.peek() {
+            TokenKind::KwInput => {
+                p.bump();
+                p.ident_list(&mut program.inputs)?;
+            }
+            TokenKind::KwOutput => {
+                p.bump();
+                p.ident_list(&mut program.outputs)?;
+            }
+            _ => break,
+        }
+    }
+    while !matches!(p.peek(), TokenKind::Eof) {
+        let stmt = p.stmt()?;
+        program.body.stmts.push(stmt);
+    }
+    Ok(program)
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        let (line, col) = self.here();
+        LangError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LangError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn ident_list(&mut self, into: &mut Vec<String>) -> Result<(), LangError> {
+        loop {
+            into.push(self.ident()?);
+            match self.peek() {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::Semi => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `;` in declaration")),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek() {
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::Ident(_) => {
+                let name = self.ident()?;
+                self.expect(&TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Assign { name, value })
+            }
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&TokenKind::KwIf, "`if`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let then_blk = self.block()?;
+        let else_blk = if matches!(self.peek(), TokenKind::KwElse) {
+            self.bump();
+            self.block()?
+        } else {
+            Block::default()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(Block { stmts })
+    }
+
+    // Precedence (loosest to tightest): cmp, logic, sum, product.
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.logic()?;
+        match self.peek() {
+            TokenKind::Lt => {
+                self.bump();
+                let rhs = self.logic()?;
+                Ok(bin(BinOp::Lt, lhs, rhs))
+            }
+            TokenKind::Gt => {
+                self.bump();
+                let rhs = self.logic()?;
+                // `a > b` is `b < a`.
+                Ok(bin(BinOp::Lt, rhs, lhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn logic(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.sum()?;
+        while matches!(self.peek(), TokenKind::Amp | TokenKind::Pipe | TokenKind::Caret) {
+            self.bump();
+            let rhs = self.sum()?;
+            lhs = bin(BinOp::Logic, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn sum(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.product()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.product()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn product(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Shl => BinOp::Shl,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lexer;
+
+    fn parse_src(src: &str) -> Result<Program, LangError> {
+        parse(&Lexer::new(src).tokenize()?)
+    }
+
+    #[test]
+    fn parses_declarations_and_assignment() {
+        let p = parse_src("input a, b; output o; o = a + b;").unwrap();
+        assert_eq!(p.inputs, vec!["a", "b"]);
+        assert_eq!(p.outputs, vec!["o"]);
+        assert_eq!(p.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse_src("o = a + b * c;").unwrap();
+        let Stmt::Assign { value, .. } = &p.body.stmts[0] else {
+            panic!("expected assign")
+        };
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected + at the top, got {value:?}")
+        };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse_src("o = (a + b) * c;").unwrap();
+        let Stmt::Assign { value, .. } = &p.body.stmts[0] else {
+            panic!("expected assign")
+        };
+        assert!(matches!(value, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn gt_swaps_operands() {
+        let p = parse_src("o = a > b;").unwrap();
+        let Stmt::Assign { value, .. } = &p.body.stmts[0] else {
+            panic!("expected assign")
+        };
+        let Expr::Bin { op: BinOp::Lt, lhs, rhs } = value else {
+            panic!("expected <")
+        };
+        assert_eq!(**lhs, Expr::Ident("b".into()));
+        assert_eq!(**rhs, Expr::Ident("a".into()));
+    }
+
+    #[test]
+    fn parses_if_else_with_blocks() {
+        let p = parse_src("if (a < b) { x = a; y = b; } else { x = b; }").unwrap();
+        let Stmt::If { then_blk, else_blk, .. } = &p.body.stmts[0] else {
+            panic!("expected if")
+        };
+        assert_eq!(then_blk.stmts.len(), 2);
+        assert_eq!(else_blk.stmts.len(), 1);
+    }
+
+    #[test]
+    fn if_without_else_has_empty_else_block() {
+        let p = parse_src("if (a < 1) { x = a; }").unwrap();
+        let Stmt::If { else_blk, .. } = &p.body.stmts[0] else {
+            panic!("expected if")
+        };
+        assert!(else_blk.stmts.is_empty());
+    }
+
+    #[test]
+    fn reports_position_of_parse_errors() {
+        let err = parse_src("o = ;").unwrap_err();
+        assert!(matches!(err, LangError::Parse { col: 5, .. }), "{err}");
+        let err = parse_src("input a").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }));
+    }
+
+    #[test]
+    fn nested_ifs_parse() {
+        let p = parse_src("if (a < 1) { if (b < 2) { x = 1; } else { x = 2; } }").unwrap();
+        let Stmt::If { then_blk, .. } = &p.body.stmts[0] else {
+            panic!("expected if")
+        };
+        assert!(matches!(then_blk.stmts[0], Stmt::If { .. }));
+    }
+}

@@ -1,0 +1,254 @@
+//! Grid floorplan and simulated-annealing placement.
+
+use hls_ir::{HardSchedule, PrecedenceGraph, ResourceSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A placement of functional units on an integer grid.
+///
+/// Unit `u` sits at `position(u)`; data travelling between two units
+/// covers their Manhattan distance. Registers are assumed adjacent to
+/// the producing unit (the classical datapath-slice layout), so
+/// unit-to-unit distance models the whole transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Floorplan {
+    width: usize,
+    height: usize,
+    /// Per unit: linear site index.
+    site_of: Vec<usize>,
+}
+
+impl Floorplan {
+    /// Places `units` functional units row-major on a `width × height`
+    /// grid (the deterministic initial placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer sites than units.
+    pub fn row_major(units: usize, width: usize, height: usize) -> Self {
+        assert!(width * height >= units, "grid too small for {units} units");
+        Floorplan {
+            width,
+            height,
+            site_of: (0..units).collect(),
+        }
+    }
+
+    /// Number of placed units.
+    pub fn units(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// Grid dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// The `(x, y)` cell of unit `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn position(&self, u: usize) -> (usize, usize) {
+        let s = self.site_of[u];
+        (s % self.width, s / self.width)
+    }
+
+    /// Manhattan distance between two units' cells.
+    pub fn distance(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = self.position(a);
+        let (bx, by) = self.position(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Total traffic-weighted wirelength for a transfer matrix
+    /// (`traffic[a][b]` = words moved from unit `a` to unit `b`).
+    pub fn wirelength(&self, traffic: &[Vec<u64>]) -> u64 {
+        let mut total = 0;
+        for (a, row) in traffic.iter().enumerate() {
+            for (b, &w) in row.iter().enumerate() {
+                if w > 0 {
+                    total += w * self.distance(a, b);
+                }
+            }
+        }
+        total
+    }
+
+    fn swap_sites(&mut self, a: usize, b: usize) {
+        self.site_of.swap(a, b);
+    }
+}
+
+/// Builds the unit-to-unit traffic matrix of a bound schedule: one word
+/// per dataflow edge between two bound operations.
+pub fn traffic_matrix(
+    g: &PrecedenceGraph,
+    sched: &HardSchedule,
+    resources: &ResourceSet,
+) -> Vec<Vec<u64>> {
+    let k = resources.k();
+    let mut m = vec![vec![0u64; k]; k];
+    for (p, q) in g.edges() {
+        if let (Some(a), Some(b)) = (sched.unit(p), sched.unit(q)) {
+            if a != b {
+                m[a][b] += 1;
+            }
+        }
+    }
+    m
+}
+
+/// Simulated-annealing parameters.
+#[derive(Clone, Debug)]
+pub struct PlaceConfig {
+    /// RNG seed (placement is deterministic per seed).
+    pub seed: u64,
+    /// Moves per temperature step.
+    pub moves_per_temp: usize,
+    /// Initial temperature.
+    pub t0: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// Temperature at which annealing stops.
+    pub t_min: f64,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        PlaceConfig {
+            seed: 1,
+            moves_per_temp: 64,
+            t0: 8.0,
+            cooling: 0.9,
+            t_min: 0.05,
+        }
+    }
+}
+
+/// Anneals unit positions to minimise traffic-weighted wirelength,
+/// starting from `start`. Deterministic per configuration seed; never
+/// returns a placement worse than the best seen.
+pub fn place(start: &Floorplan, traffic: &[Vec<u64>], cfg: &PlaceConfig) -> Floorplan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cur = start.clone();
+    let mut cur_cost = cur.wirelength(traffic) as f64;
+    let mut best = cur.clone();
+    let mut best_cost = cur_cost;
+    let units = cur.units();
+    if units < 2 {
+        return best;
+    }
+    let mut t = cfg.t0;
+    while t > cfg.t_min {
+        for _ in 0..cfg.moves_per_temp {
+            let a = rng.random_range(0..units);
+            let mut b = rng.random_range(0..units);
+            while b == a {
+                b = rng.random_range(0..units);
+            }
+            cur.swap_sites(a, b);
+            let cost = cur.wirelength(traffic) as f64;
+            let accept = cost <= cur_cost || {
+                let p = ((cur_cost - cost) / t).exp();
+                rng.random_bool(p.clamp(0.0, 1.0))
+            };
+            if accept {
+                cur_cost = cost;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = cur.clone();
+                }
+            } else {
+                cur.swap_sites(a, b); // undo
+            }
+        }
+        t *= cfg.cooling;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{bench_graphs, ResourceSet};
+
+    #[test]
+    fn row_major_positions_are_dense() {
+        let fp = Floorplan::row_major(5, 3, 2);
+        assert_eq!(fp.units(), 5);
+        assert_eq!(fp.position(0), (0, 0));
+        assert_eq!(fp.position(2), (2, 0));
+        assert_eq!(fp.position(3), (0, 1));
+        assert_eq!(fp.distance(0, 3), 1);
+        assert_eq!(fp.distance(0, 4), 2);
+        assert_eq!(fp.dims(), (3, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_grid_panics() {
+        let _ = Floorplan::row_major(7, 2, 3);
+    }
+
+    #[test]
+    fn traffic_matrix_counts_cross_unit_edges() {
+        let g = bench_graphs::hal();
+        let r = ResourceSet::classic(2, 2);
+        let out =
+            hls_baselines::list_schedule(&g, &r, hls_baselines::Priority::CriticalPath).unwrap();
+        let m = traffic_matrix(&g, &out.schedule, &r);
+        let total: u64 = m.iter().flatten().sum();
+        assert!(total > 0, "HAL has cross-unit transfers");
+        assert!(total as usize <= g.edge_count());
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0, "self traffic is excluded");
+        }
+    }
+
+    #[test]
+    fn annealing_never_worsens_the_start() {
+        let g = bench_graphs::ewf();
+        let r = ResourceSet::classic(2, 1);
+        let out =
+            hls_baselines::list_schedule(&g, &r, hls_baselines::Priority::CriticalPath).unwrap();
+        let traffic = traffic_matrix(&g, &out.schedule, &r);
+        let start = Floorplan::row_major(r.k(), 2, 2);
+        let placed = place(&start, &traffic, &PlaceConfig::default());
+        assert!(placed.wirelength(&traffic) <= start.wirelength(&traffic));
+    }
+
+    #[test]
+    fn annealing_finds_the_obvious_optimum() {
+        // Two hot units and two idle ones on a 1x4 strip: the hot pair
+        // must end up adjacent.
+        let traffic = vec![
+            vec![0, 100, 0, 0],
+            vec![100, 0, 0, 0],
+            vec![0, 0, 0, 1],
+            vec![0, 0, 1, 0],
+        ];
+        // Start with the hot pair maximally separated.
+        let mut start = Floorplan::row_major(4, 4, 1);
+        start.swap_sites(1, 3);
+        assert_eq!(start.distance(0, 1), 3);
+        let placed = place(&start, &traffic, &PlaceConfig::default());
+        assert_eq!(placed.distance(0, 1), 1, "hot pair must be adjacent");
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let traffic = vec![vec![0, 3, 1], vec![3, 0, 2], vec![1, 2, 0]];
+        let start = Floorplan::row_major(3, 3, 1);
+        let a = place(&start, &traffic, &PlaceConfig::default());
+        let b = place(&start, &traffic, &PlaceConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_unit_placement_is_a_noop() {
+        let start = Floorplan::row_major(1, 1, 1);
+        let placed = place(&start, &[vec![0]], &PlaceConfig::default());
+        assert_eq!(placed, start);
+    }
+}

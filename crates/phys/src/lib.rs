@@ -1,0 +1,21 @@
+//! Simulated physical-design substrate.
+//!
+//! The paper's second phase-coupling scenario (Section 1) is physical
+//! design: "the interconnect delay can be determined only after place
+//! and route". The authors used a real layout flow; this crate
+//! substitutes a deterministic, laptop-scale model that exercises the
+//! identical refinement code path (see `DESIGN.md` §5):
+//!
+//! * [`Floorplan`] — functional units as cells on an integer grid;
+//! * [`place`] — seeded simulated-annealing placement minimising
+//!   traffic-weighted Manhattan wirelength;
+//! * [`WireModel`] — distance → extra interconnect cycles;
+//! * [`annotate`] — derives, for a bound schedule, which data transfers
+//!   need wire-delay vertices (consumed by
+//!   `threaded_sched::refine::insert_wire_delay`).
+
+mod floorplan;
+mod model;
+
+pub use floorplan::{place, traffic_matrix, Floorplan, PlaceConfig};
+pub use model::{annotate, Transfer, WireModel};

@@ -1,0 +1,141 @@
+//! Wire-delay model and schedule annotation.
+
+use crate::Floorplan;
+use hls_ir::{HardSchedule, OpId, PrecedenceGraph};
+
+/// Maps Manhattan distance to extra interconnect cycles.
+///
+/// A transfer within `reach` grid cells completes inside the consumer's
+/// start step (no penalty); beyond that, every additional `reach` cells
+/// cost one cycle. This is the standard linear-delay abstraction of deep
+/// submicron interconnect at the architectural level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WireModel {
+    /// Grid cells coverable within one clock cycle.
+    pub reach: u64,
+}
+
+impl WireModel {
+    /// A model where `reach` cells are free and each further `reach`
+    /// cells cost one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reach` is zero.
+    pub fn new(reach: u64) -> Self {
+        assert!(reach > 0, "reach must be positive");
+        WireModel { reach }
+    }
+
+    /// Extra cycles for a transfer over `distance` cells.
+    pub fn cycles(self, distance: u64) -> u64 {
+        distance / self.reach
+    }
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel::new(2)
+    }
+}
+
+/// A data transfer that needs one or more wire-delay cycles.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// Producing operation.
+    pub from: OpId,
+    /// Consuming operation.
+    pub to: OpId,
+    /// Extra interconnect cycles required.
+    pub cycles: u64,
+}
+
+/// Computes the wire-delay vertices a bound schedule needs under a
+/// placement: one [`Transfer`] per dataflow edge whose units are further
+/// apart than the model's single-cycle reach.
+///
+/// The result feeds `threaded_sched::refine::insert_wire_delay` — the
+/// paper's Figure 1(d) refinement.
+pub fn annotate(
+    g: &PrecedenceGraph,
+    sched: &HardSchedule,
+    fp: &Floorplan,
+    model: WireModel,
+) -> Vec<Transfer> {
+    let mut out = Vec::new();
+    for (p, q) in g.edges() {
+        if let (Some(a), Some(b)) = (sched.unit(p), sched.unit(q)) {
+            if a == b {
+                continue;
+            }
+            let cycles = model.cycles(fp.distance(a, b));
+            if cycles > 0 {
+                out.push(Transfer {
+                    from: p,
+                    to: q,
+                    cycles,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{bench_graphs, ResourceSet};
+
+    #[test]
+    fn wire_model_quantises_distance() {
+        let m = WireModel::new(2);
+        assert_eq!(m.cycles(0), 0);
+        assert_eq!(m.cycles(1), 0);
+        assert_eq!(m.cycles(2), 1);
+        assert_eq!(m.cycles(5), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reach_is_rejected() {
+        let _ = WireModel::new(0);
+    }
+
+    #[test]
+    fn annotate_flags_only_far_transfers() {
+        let g = bench_graphs::hal();
+        let r = ResourceSet::classic(2, 2);
+        let out =
+            hls_baselines::list_schedule(&g, &r, hls_baselines::Priority::CriticalPath).unwrap();
+        // A 1x4 strip stretches some unit pairs beyond reach 1.
+        let fp = Floorplan::row_major(r.k(), 4, 1);
+        let transfers = annotate(&g, &out.schedule, &fp, WireModel::new(1));
+        assert!(!transfers.is_empty(), "HAL has cross-unit transfers over 1 cell");
+        for t in &transfers {
+            let a = out.schedule.unit(t.from).unwrap();
+            let b = out.schedule.unit(t.to).unwrap();
+            assert!(fp.distance(a, b) >= 1);
+            assert!(t.cycles >= 1);
+            assert!(g.has_edge(t.from, t.to));
+        }
+        // With a generous reach nothing is flagged.
+        let none = annotate(&g, &out.schedule, &fp, WireModel::new(10));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn same_unit_transfers_are_free() {
+        let g = bench_graphs::fir();
+        let r = ResourceSet::classic(1, 1);
+        let out =
+            hls_baselines::list_schedule(&g, &r, hls_baselines::Priority::CriticalPath).unwrap();
+        let fp = Floorplan::row_major(r.k(), 2, 1);
+        for t in annotate(&g, &out.schedule, &fp, WireModel::new(1)) {
+            assert_ne!(
+                out.schedule.unit(t.from),
+                out.schedule.unit(t.to),
+                "same-unit edges must not be annotated"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's Figure 3 benchmark table from the public API
+//! (the `hls-bench` crate wraps the same experiment for the harness).
+//!
+//! Run with: `cargo run --example benchmark_table`
+
+use soft_hls::baselines::{list_schedule, Priority};
+use soft_hls::ir::{bench_graphs, ResourceSet};
+use soft_hls::sched::{meta::MetaSchedule, SchedError, ThreadedScheduler};
+
+fn main() -> Result<(), SchedError> {
+    let configs = [
+        ("2+/-,2*", ResourceSet::classic(2, 2)),
+        ("4+/-,4*", ResourceSet::classic(4, 4)),
+        ("2+/-,1*", ResourceSet::classic(2, 1)),
+    ];
+    println!("{:4} {:12} {:>9} {:>9} {:>9}", "BM", "Sched. Alg.", configs[0].0, configs[1].0, configs[2].0);
+    for (name, g) in bench_graphs::all() {
+        for meta in MetaSchedule::PAPER {
+            let mut lengths = Vec::new();
+            for (_, resources) in &configs {
+                let order = meta.order(&g, resources)?;
+                let mut ts = ThreadedScheduler::new(g.clone(), resources.clone())?;
+                ts.schedule_all(order)?;
+                lengths.push(ts.diameter());
+            }
+            println!(
+                "{:4} {:12} {:>9} {:>9} {:>9}",
+                name,
+                meta.name(),
+                lengths[0],
+                lengths[1],
+                lengths[2]
+            );
+        }
+        let list: Vec<u64> = configs
+            .iter()
+            .map(|(_, r)| {
+                list_schedule(&g, r, Priority::CriticalPath)
+                    .expect("benchmarks schedule under all configs")
+                    .length(&g)
+            })
+            .collect();
+        println!(
+            "{:4} {:12} {:>9} {:>9} {:>9}",
+            name, "list sched", list[0], list[1], list[2]
+        );
+    }
+    Ok(())
+}
