@@ -1,0 +1,7 @@
+fn main() {
+    let sizes = [500, 1000, 2000, 5000];
+    let points = hls_bench::complexity::run(&sizes, 0);
+    for p in &points {
+        println!("V={} E={} threaded_us={}", p.ops, p.edges, p.threaded_us);
+    }
+}

@@ -1,0 +1,87 @@
+//! Machine-readable perf trajectory for the scheduler hot path.
+//!
+//! Runs the Theorem 3 scaling study (`hls_bench::complexity`) and emits
+//! `BENCH_1.json`: per-size `schedule_all` wall times for the optimized
+//! scheduler and the frozen pre-refactor seed, the measured speedup at
+//! `|V| = 5000`, and the fitted scaling exponent of the optimized
+//! engine. Future PRs append `BENCH_<n>.json` files to track the
+//! trajectory; `EXPERIMENTS.md` records the interpretation.
+//!
+//! Usage: `bench_json [--quick] [OUTPUT_PATH]` — `--quick` shrinks the
+//! sweep for CI smoke runs (the JSON then carries `"quick": true` so it
+//! is never mistaken for a trajectory point).
+
+use hls_bench::complexity::{fit_exponent, report_scaling, scaling_sweep};
+use std::fmt::Write as _;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_1.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (sizes, cutoff): (&[usize], usize) = if quick {
+        (&[500, 1000, 2000], 1000)
+    } else {
+        (&[500, 1000, 2000, 5000, 10000, 20000], 5000)
+    };
+
+    let points = scaling_sweep(sizes, cutoff);
+    print!("{}", report_scaling(&points));
+
+    let opt: Vec<(usize, u128)> = points.iter().map(|p| (p.ops, p.opt_us)).collect();
+    let slope = fit_exponent(&opt);
+    let speedup_at = |n: usize| -> Option<f64> {
+        points
+            .iter()
+            .find(|p| p.ops == n)
+            .and_then(|p| p.ref_us.map(|r| r as f64 / p.opt_us.max(1) as f64))
+    };
+    let headline = speedup_at(if quick { 1000 } else { 5000 });
+    println!("fitted scaling exponent (optimized): {slope:.3}");
+    if let Some(s) = headline {
+        println!("speedup vs pre-refactor seed at the headline size: {s:.1}x");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_1\",");
+    let _ = writeln!(json, "  \"pr\": 1,");
+    let _ = writeln!(
+        json,
+        "  \"subject\": \"schedule_all wall time, optimized ThreadedScheduler vs frozen seed (ReferenceScheduler)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"layered DFG, bounded mean in-degree ~6, ResourceSet::classic(2,2), topological meta order\","
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"fitted_exponent_optimized\": {slope:.4},");
+    match headline {
+        Some(s) => {
+            let _ = writeln!(json, "  \"headline_speedup\": {s:.2},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"headline_speedup\": null,");
+        }
+    }
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let refs = p.ref_us.map_or("null".to_string(), |v| v.to_string());
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"ops\": {}, \"edges\": {}, \"optimized_us\": {}, \"reference_us\": {}, \"diameter\": {}}}{comma}",
+            p.ops, p.edges, p.opt_us, refs, p.diameter
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing the bench JSON must succeed");
+    println!("wrote {out_path}");
+}

@@ -9,7 +9,9 @@
 
 use hls_ir::{generate, ResourceSet};
 use std::time::Instant;
-use threaded_sched::{meta::MetaSchedule, ExhaustiveScheduler, ThreadedScheduler};
+use threaded_sched::{
+    meta::MetaSchedule, ExhaustiveScheduler, ReferenceScheduler, ThreadedScheduler,
+};
 
 /// One measured size point.
 #[derive(Clone, Debug)]
@@ -113,6 +115,133 @@ pub fn report(points: &[SizePoint]) -> String {
     crate::render_table(&header, &rows)
 }
 
+/// One point of the incremental-engine scaling study.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Number of operations.
+    pub ops: usize,
+    /// Edges in the generated DFG.
+    pub edges: usize,
+    /// `schedule_all` wall time of the optimized scheduler,
+    /// microseconds.
+    pub opt_us: u128,
+    /// `schedule_all` wall time of the frozen pre-refactor seed
+    /// ([`ReferenceScheduler`]), microseconds; `None` above the cutoff.
+    pub ref_us: Option<u128>,
+    /// Final state diameter (checked equal between both engines).
+    pub diameter: u64,
+}
+
+/// The sweep workload: a layered DFG with *bounded mean in-degree*
+/// (~6 predecessors per op, width capped at 64), so the edge count —
+/// and the intrinsic work — grows linearly with `|V|`. This is the
+/// shape of real basic-block DFG streams; the Theorem 3 question is how
+/// scheduling cost scales when the problem itself scales linearly.
+pub fn sweep_config(ops: usize) -> generate::LayeredConfig {
+    let width = 64.min((ops / 4).max(2));
+    generate::LayeredConfig {
+        ops,
+        width,
+        edge_prob: (6.0 / width as f64).min(1.0),
+        ..generate::LayeredConfig::default()
+    }
+}
+
+/// Runs the scaling study: times `schedule_all` (state construction and
+/// closure precomputation excluded on both sides) for the optimized
+/// scheduler at every size and for the frozen seed up to
+/// `reference_cutoff` ops.
+///
+/// # Panics
+///
+/// Panics if a workload fails to schedule or the two engines disagree
+/// on the resulting diameter (they are golden-equivalent by
+/// construction).
+pub fn scaling_sweep(sizes: &[usize], reference_cutoff: usize) -> Vec<ScalePoint> {
+    let resources = ResourceSet::classic(2, 2);
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = generate::layered_dag(0x5EED ^ n as u64, &sweep_config(n));
+            let order = MetaSchedule::Topological
+                .order(&g, &resources)
+                .expect("generated graph is a DAG");
+
+            let mut ts = ThreadedScheduler::new(g.clone(), resources.clone())
+                .expect("generated graph is valid");
+            let t0 = Instant::now();
+            ts.schedule_all(order.iter().copied()).expect("schedulable");
+            let opt_us = t0.elapsed().as_micros();
+            let diameter = ts.diameter();
+
+            let ref_us = (n <= reference_cutoff).then(|| {
+                let mut rs = ReferenceScheduler::new(g.clone(), resources.clone())
+                    .expect("generated graph is valid");
+                let t0 = Instant::now();
+                rs.schedule_all(order.iter().copied()).expect("schedulable");
+                let us = t0.elapsed().as_micros();
+                assert_eq!(rs.diameter(), diameter, "engines diverged at |V|={n}");
+                us
+            });
+
+            ScalePoint {
+                ops: n,
+                edges: g.edge_count(),
+                opt_us,
+                ref_us,
+                diameter,
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope of `ln(time)` against `ln(ops)` — the empirical
+/// scaling exponent of a sweep (1.0 = linear, 2.0 = quadratic).
+pub fn fit_exponent(points: &[(usize, u128)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(ops, us) in points {
+        let x = (ops as f64).ln();
+        let y = (us.max(1) as f64).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Formats the scaling-study table.
+pub fn report_scaling(points: &[ScalePoint]) -> String {
+    let header = vec![
+        "|V|".to_string(),
+        "|E|".to_string(),
+        "optimized (us)".to_string(),
+        "seed (us)".to_string(),
+        "speedup".to_string(),
+        "diameter".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.ops.to_string(),
+                p.edges.to_string(),
+                p.opt_us.to_string(),
+                p.ref_us.map_or("-".to_string(), |v| v.to_string()),
+                p.ref_us.map_or("-".to_string(), |v| {
+                    format!("{:.1}x", v as f64 / p.opt_us.max(1) as f64)
+                }),
+                p.diameter.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(&header, &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +266,35 @@ mod tests {
     fn cutoff_skips_naive() {
         let pts = run(&[48], 10);
         assert!(pts[0].naive_us.is_none());
+    }
+
+    #[test]
+    fn sweep_checks_diameter_equality_and_respects_cutoff() {
+        let pts = scaling_sweep(&[64, 128], 64);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].ref_us.is_some(), "below cutoff: seed timed");
+        assert!(pts[1].ref_us.is_none(), "above cutoff: seed skipped");
+        assert!(pts.iter().all(|p| p.diameter > 0));
+        let text = report_scaling(&pts);
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn sweep_workload_has_bounded_degree() {
+        let small = generate::layered_dag(1, &sweep_config(512));
+        let large = generate::layered_dag(2, &sweep_config(4096));
+        let deg_s = small.edge_count() as f64 / small.len() as f64;
+        let deg_l = large.edge_count() as f64 / large.len() as f64;
+        assert!((deg_s - deg_l).abs() < 2.0, "mean degree must not grow: {deg_s} vs {deg_l}");
+    }
+
+    #[test]
+    fn fit_exponent_recovers_known_slopes() {
+        let linear: Vec<(usize, u128)> = [100, 200, 400, 800].iter().map(|&n| (n, 3 * n as u128)).collect();
+        assert!((fit_exponent(&linear) - 1.0).abs() < 0.01);
+        let quad: Vec<(usize, u128)> =
+            [100, 200, 400, 800].iter().map(|&n| (n, (n * n) as u128)).collect();
+        assert!((fit_exponent(&quad) - 2.0).abs() < 0.01);
+        assert!(fit_exponent(&quad[..1]).is_nan());
     }
 }

@@ -62,9 +62,7 @@ fn fig1_soft() -> (ThreadedScheduler, [hls_ir::OpId; 7]) {
         let p = ts
             .feasible_placements(op)
             .expect("fig1 ops schedulable")
-            .into_iter()
-            .filter(|p| p.thread == thread)
-            .next_back()
+            .into_iter().rfind(|p| p.thread == thread)
             .expect("tail position exists");
         ts.commit(p, op);
     }

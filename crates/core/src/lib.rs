@@ -44,11 +44,13 @@
 
 pub mod exhaustive;
 pub mod meta;
+pub mod reference;
 pub mod refine;
 pub mod soft;
 mod threaded;
 
 pub use exhaustive::ExhaustiveScheduler;
+pub use reference::ReferenceScheduler;
 pub use soft::{OnlineScheduler, StateSnapshot};
 pub use threaded::{Placement, ThreadedScheduler};
 

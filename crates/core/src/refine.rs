@@ -180,9 +180,8 @@ mod tests {
             let placements = ts.feasible_placements(op).unwrap();
             let p = placements
                 .iter()
-                .filter(|p| p.thread == thread)
-                .last()
                 .copied()
+                .rfind(|p| p.thread == thread)
                 .unwrap();
             ts.commit(p, op);
         }

@@ -26,16 +26,39 @@ pub struct StateSnapshot {
     /// The state as a precedence graph; vertex `i` corresponds to
     /// `ops[i]` in the original behavior.
     pub graph: PrecedenceGraph,
-    /// Snapshot index → original operation.
+    /// Snapshot index → original operation. The vertex numbering is
+    /// fixed at construction: [`StateSnapshot::index_of`] answers from
+    /// a map precomputed by [`StateSnapshot::new`], so `ops` must not
+    /// be reordered or extended afterwards (replacing `graph` edges,
+    /// as the forgery tests do, is fine).
     pub ops: Vec<OpId>,
     /// Snapshot index → thread.
     pub threads: Vec<usize>,
+    /// Original op index → snapshot index (`None` if unscheduled),
+    /// precomputed so [`StateSnapshot::index_of`] is `O(1)` instead of a
+    /// linear scan per lookup.
+    index: Vec<Option<usize>>,
 }
 
 impl StateSnapshot {
+    /// Builds a snapshot, precomputing the reverse op → index map.
+    pub fn new(graph: PrecedenceGraph, ops: Vec<OpId>, threads: Vec<usize>) -> Self {
+        let cap = ops.iter().map(|o| o.index() + 1).max().unwrap_or(0);
+        let mut index = vec![None; cap];
+        for (i, op) in ops.iter().enumerate() {
+            index[op.index()] = Some(i);
+        }
+        StateSnapshot {
+            graph,
+            ops,
+            threads,
+            index,
+        }
+    }
+
     /// The snapshot index of an original operation, if scheduled.
     pub fn index_of(&self, v: OpId) -> Option<usize> {
-        self.ops.iter().position(|&o| o == v)
+        self.index.get(v.index()).copied().flatten()
     }
 
     /// The state's partial order `≺_S` as a strict reachability matrix

@@ -14,11 +14,50 @@
 //! *feasible window* (computed from the state order, not just immediate
 //! chain neighbours) and tight-edge hygiene in `commit` when several
 //! ancestors share a thread.
+//!
+//! # Incremental engine
+//!
+//! This implementation meets the Theorem 3 per-operation bound in
+//! practice (see `DESIGN.md` §4 and the `bench_json` study). Compared to
+//! the frozen [`crate::ReferenceScheduler`] seed it differs only in
+//! *how* the same state is computed:
+//!
+//! * node storage is structure-of-arrays (`inc[n·stride + j]`) instead
+//!   of per-node heap vectors;
+//! * chain positions are *gap numbered* (spacing `2³²`, midpoint
+//!   insertion), so renumbering is amortized `O(1)` instead of a full
+//!   chain walk per commit;
+//! * `sdist`/`tdist` are maintained by increase-only worklist relaxation
+//!   over the affected cone instead of a full `relabel()` per commit;
+//! * every node carries *reach vectors* — its latest per-thread
+//!   state-ancestor and earliest per-thread state-descendant — so
+//!   `select` computes its feasible windows from the scheduled frontier
+//!   in `O(K²)` instead of marking the whole state;
+//! * `sync_graph_growth` grows the ancestor/descendant closures
+//!   incrementally for the spliced vertices instead of recomputing the
+//!   full transitive closure.
+//!
+//! The golden-equivalence suite (`tests/golden_equivalence.rs`) pins the
+//! observable behavior — placement sequences and extracted schedules —
+//! to the reference implementation.
 
 use crate::{SchedError, soft::StateSnapshot};
 use hls_ir::{
     algo, BitMatrix, HardSchedule, OpId, OpKind, PrecedenceGraph, ResourceClass, ResourceSet,
 };
+use std::cell::RefCell;
+
+/// Missing-edge / missing-node sentinel in the flat edge and reach
+/// tables.
+const NONE: u32 = u32::MAX;
+
+/// `(sdist, tdist, reach_b, reach_f)` of a from-scratch recomputation.
+type FullLabels = (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>);
+
+/// Gap between freshly numbered chain positions. Midpoint insertion
+/// needs ~32 inserts into the same gap before a chain renumber; tail
+/// inserts extend the numbering instead and never exhaust it.
+const GAP: u64 = 1 << 32;
 
 /// Where `select` decided to put an operation.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -33,32 +72,45 @@ pub struct Placement {
     pub cost: u64,
 }
 
-#[derive(Clone, Debug)]
-struct Node {
-    /// Per thread `j`: the node in thread `j` with an edge into this node.
-    inc: Vec<Option<u32>>,
-    /// Per thread `j`: the node in thread `j` this node has an edge to.
-    out: Vec<Option<u32>>,
-    thread: usize,
-    /// Chain position; consecutive integers, renumbered after insertion.
-    pos: u64,
-    sdist: u64,
-    tdist: u64,
-    delay: u64,
+/// Reusable, epoch-stamped scratch space for the hot path. Owning these
+/// buffers (instead of allocating per call) is what makes
+/// `select`/`commit` allocation-free in steady state.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// Visitation epoch; bumping it invalidates all stamps at once.
+    epoch: u32,
+    /// Per op: last epoch the frontier walk saw it.
+    op_seen: Vec<u32>,
+    /// Frontier walk stack (op indices).
+    stack: Vec<u32>,
+    /// Scheduled frontier on the predecessor side (node ids).
+    preds_f: Vec<u32>,
+    /// Scheduled frontier on the successor side (node ids).
+    succs_f: Vec<u32>,
+    /// Per thread: the latest state-ancestor node (window lower bound).
+    lo: Vec<u32>,
+    /// Per thread: the earliest state-descendant node (window upper
+    /// bound).
+    hi: Vec<u32>,
+    /// Worklist for label/reach propagation (node ids).
+    queue: Vec<u32>,
 }
 
-impl Node {
-    fn new(threads: usize, thread: usize, delay: u64) -> Self {
-        Node {
-            inc: vec![None; threads],
-            out: vec![None; threads],
-            thread,
-            pos: 0,
-            sdist: 0,
-            tdist: 0,
-            delay,
-        }
-    }
+/// Lazily maintained sink distances.
+///
+/// A tail commit raises `tdist` for nearly *all* of its state-ancestors
+/// — eagerly repairing them is `Θ(|V|²)` over a run, even though the
+/// hot path only ever reads `tdist` near the chain tails. So commits
+/// just *invalidate* the backward cone (stopping at already-dirty
+/// nodes, amortized `O(K)`), and readers repair exactly the dirty
+/// forward cone of the nodes they touch. Values observable through the
+/// API are always exact.
+#[derive(Clone, Debug, Default)]
+struct TdistLazy {
+    val: Vec<u64>,
+    dirty: Vec<bool>,
+    /// Reusable traversal stacks for invalidation and repair.
+    stack: Vec<u32>,
 }
 
 /// The threaded (soft) scheduler: an online automaton that adds one
@@ -71,12 +123,39 @@ impl Node {
 #[derive(Clone, Debug)]
 pub struct ThreadedScheduler {
     g: PrecedenceGraph,
-    /// Strict ancestors per op (row `v` = `{p : p ≺_G v}`).
+    /// Strict ancestors per op (row `v` = `{p : p ≺_G v}`), grown
+    /// incrementally under refinement.
     anc: BitMatrix,
     /// Strict descendants per op.
     desc: BitMatrix,
+    /// Bitset over ops: bit `v` set iff `v` is scheduled.
+    sched_mask: Vec<u64>,
     resources: ResourceSet,
-    nodes: Vec<Node>,
+    // ---- structure-of-arrays node storage ----
+    /// Per node: its thread.
+    n_thread: Vec<u32>,
+    /// Per node: gap-numbered chain position (order within the thread is
+    /// all that is observable; values are never exported).
+    n_pos: Vec<u64>,
+    n_sdist: Vec<u64>,
+    /// Sink distances, lazily repaired (see [`TdistLazy`]). Interior
+    /// mutability lets `&self` readers (`select`,
+    /// `feasible_placements`) repair on demand; they must not be
+    /// re-entered from the placement callback.
+    n_tdist: RefCell<TdistLazy>,
+    n_delay: Vec<u64>,
+    /// Flat edge tables: `inc[n·stride + j]` is the node in thread `j`
+    /// with an edge into `n` (or [`NONE`]).
+    inc: Vec<u32>,
+    out: Vec<u32>,
+    /// Reach vectors: `reach_b[n·stride + j]` is the latest (max `pos`)
+    /// thread-`j` state-ancestor of `n`; `reach_f` the earliest
+    /// state-descendant. [`NONE`] when the thread holds no such node.
+    reach_b: Vec<u32>,
+    reach_f: Vec<u32>,
+    /// Row width of the flat tables; `>= threads`, grown by doubling
+    /// when wire threads are pushed.
+    stride: usize,
     /// Per thread: source/sink sentinel node indices.
     sent_s: Vec<u32>,
     sent_t: Vec<u32>,
@@ -86,7 +165,12 @@ pub struct ThreadedScheduler {
     op_of: Vec<Option<OpId>>,
     /// Number of threads (resource units plus wire singleton threads).
     threads: usize,
+    /// Sum of all node delays — an upper bound on any legal `sdist`,
+    /// used to fail fast (like the seed's per-commit relabel assert)
+    /// if an invalid placement ever closes a state cycle.
+    total_delay: u64,
     history: Vec<OpId>,
+    scratch: RefCell<Scratch>,
 }
 
 impl ThreadedScheduler {
@@ -102,16 +186,28 @@ impl ThreadedScheduler {
         let k = resources.k();
         let mut ts = ThreadedScheduler {
             node_of: vec![None; g.len()],
+            sched_mask: vec![0; g.len().div_ceil(64)],
             g,
             anc,
             desc,
             resources,
-            nodes: Vec::with_capacity(2 * k),
+            n_thread: Vec::with_capacity(2 * k),
+            n_pos: Vec::new(),
+            n_sdist: Vec::new(),
+            n_tdist: RefCell::new(TdistLazy::default()),
+            n_delay: Vec::new(),
+            inc: Vec::new(),
+            out: Vec::new(),
+            reach_b: Vec::new(),
+            reach_f: Vec::new(),
+            stride: k.max(1),
             sent_s: Vec::with_capacity(k),
             sent_t: Vec::with_capacity(k),
             op_of: Vec::new(),
             threads: 0,
+            total_delay: 0,
             history: Vec::new(),
+            scratch: RefCell::new(Scratch::default()),
         };
         for _ in 0..k {
             ts.push_thread();
@@ -156,7 +252,7 @@ impl ThreadedScheduler {
             .get(v.index())
             .copied()
             .flatten()
-            .map(|n| self.nodes[n as usize].thread)
+            .map(|n| self.n_thread[n as usize] as usize)
     }
 
     /// The operations of thread `k` in chain order.
@@ -166,13 +262,13 @@ impl ThreadedScheduler {
     /// Panics if `k >= self.thread_count()`.
     pub fn chain(&self, k: usize) -> Vec<OpId> {
         let mut out = Vec::new();
-        let mut cur = self.nodes[self.sent_s[k] as usize].out[k];
-        while let Some(n) = cur {
-            if n == self.sent_t[k] {
+        let mut cur = self.out[self.sent_s[k] as usize * self.stride + k];
+        while cur != NONE {
+            if cur == self.sent_t[k] {
                 break;
             }
-            out.push(self.op_of[n as usize].expect("chain nodes are real ops"));
-            cur = self.nodes[n as usize].out[k];
+            out.push(self.op_of[cur as usize].expect("chain nodes are real ops"));
+            cur = self.out[cur as usize * self.stride + k];
         }
         out
     }
@@ -181,7 +277,7 @@ impl ThreadedScheduler {
     /// delay-sum including all artificial serialisation edges. By
     /// Lemma 4 this is monotone under scheduling.
     pub fn diameter(&self) -> u64 {
-        self.nodes.iter().map(|n| n.sdist).max().unwrap_or(0)
+        self.n_sdist.iter().copied().max().unwrap_or(0)
     }
 
     /// Schedules one operation: `select` then `commit` (the paper's
@@ -199,12 +295,11 @@ impl ThreadedScheduler {
             return Err(SchedError::UnknownOp(v));
         }
         if let Some(n) = self.node_of[v.index()] {
-            let node = &self.nodes[n as usize];
             let after = self.chain_pred_op(n);
             return Ok(Placement {
-                thread: node.thread,
+                thread: self.n_thread[n as usize] as usize,
                 after,
-                cost: node.sdist + node.tdist - node.delay,
+                cost: self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize],
             });
         }
         if self.g.kind(v).resource_class() == ResourceClass::Wire {
@@ -232,8 +327,8 @@ impl ThreadedScheduler {
 
     /// The paper's `select`: finds the feasible insertion position
     /// minimising the distance of the new vertex — hence, by Theorem 2,
-    /// the diameter of the resulting state — in `O(K · |V_S|)` time,
-    /// without speculative commits.
+    /// the diameter of the resulting state — without speculative commits
+    /// and without touching nodes outside the feasible windows.
     ///
     /// # Errors
     ///
@@ -299,7 +394,8 @@ impl ThreadedScheduler {
 
     /// Commits a placement produced by [`ThreadedScheduler::select`] or
     /// [`ThreadedScheduler::feasible_placements`] — the paper's `commit`
-    /// with the Figure 2 update rules.
+    /// with the Figure 2 update rules, followed by incremental label and
+    /// reach propagation over the affected cone only.
     ///
     /// # Panics
     ///
@@ -310,39 +406,66 @@ impl ThreadedScheduler {
     pub fn commit(&mut self, placement: Placement, v: OpId) {
         assert!(placement.thread < self.threads, "unknown thread");
         let k = placement.thread;
+        let s = self.stride;
         let pos_node = match placement.after {
             None => self.sent_s[k],
             Some(op) => {
                 let n = self.node_of[op.index()].expect("placement.after must be scheduled");
-                assert_eq!(self.nodes[n as usize].thread, k, "after-op not in thread");
+                assert_eq!(
+                    self.n_thread[n as usize] as usize, k,
+                    "after-op not in thread"
+                );
                 n
             }
         };
-        let n = self.new_node(k, self.g.delay(v));
+        let n = self.alloc_raw_node(k, self.g.delay(v));
 
-        // Chain insertion after pos_node.
-        let next = self.nodes[pos_node as usize].out[k].expect("chain is closed by sentinels");
-        self.nodes[n as usize].out[k] = Some(next);
-        self.nodes[next as usize].inc[k] = Some(n);
-        self.nodes[pos_node as usize].out[k] = Some(n);
-        self.nodes[n as usize].inc[k] = Some(pos_node);
-        self.renumber_chain(k);
+        // Chain insertion after pos_node, with gap-numbered positions.
+        let next = self.out[pos_node as usize * s + k];
+        assert_ne!(next, NONE, "chain is closed by sentinels");
+        self.out[n as usize * s + k] = next;
+        self.inc[next as usize * s + k] = n;
+        self.out[pos_node as usize * s + k] = n;
+        self.inc[n as usize * s + k] = pos_node;
+        self.assign_pos(n, pos_node, next, k);
 
         self.node_of[v.index()] = Some(n);
         self.op_of[n as usize] = Some(v);
+        self.sched_mask[v.index() / 64] |= 1u64 << (v.index() % 64);
 
-        // Figure 2 rules, predecessors then successors.
-        let preds: Vec<u32> = self.scheduled_ancestors(v);
-        for p in preds {
+        // Figure 2 rules for the scheduled frontier (dominated ancestors
+        // and descendants are already ordered through it — DESIGN.md §4).
+        let mut sc = std::mem::take(self.scratch.get_mut());
+        self.prep_scratch(&mut sc);
+        self.collect_frontiers(v, &mut sc);
+        let preds = std::mem::take(&mut sc.preds_f);
+        let succs = std::mem::take(&mut sc.succs_f);
+        for &p in &preds {
             self.apply_pred_rule(p, n, k);
         }
-        let succs: Vec<u32> = self.scheduled_descendants(v);
-        for q in succs {
+        for &q in &succs {
             self.apply_succ_rule(q, n, k);
         }
+        sc.preds_f = preds;
+        sc.succs_f = succs;
+
+        // The new node's own labels read its (final) out-neighbours, so
+        // repair those first; everything upstream is merely invalidated.
+        let mut lz = std::mem::take(self.n_tdist.get_mut());
+        for j in 0..self.threads {
+            let m = self.out[n as usize * self.stride + j];
+            if m != NONE {
+                self.repair_tdist(&mut lz, m);
+            }
+        }
+        self.init_new_node(n, &mut lz);
+        self.propagate_forward(n, &mut sc.queue);
+        self.propagate_reach_backward(n, &mut sc.queue);
+        self.invalidate_tdist_backward(n, &mut lz);
+        *self.n_tdist.get_mut() = lz;
+        *self.scratch.get_mut() = sc;
 
         self.history.push(v);
-        self.relabel();
     }
 
     /// Extracts the hard schedule implied by the current state: every
@@ -353,13 +476,13 @@ impl ThreadedScheduler {
         let mut sched = HardSchedule::new(self.g.len());
         for v in self.g.op_ids() {
             if let Some(n) = self.node_of[v.index()] {
-                let node = &self.nodes[n as usize];
-                let unit = if node.thread < self.resources.k() {
-                    Some(node.thread)
+                let n = n as usize;
+                let unit = if (self.n_thread[n] as usize) < self.resources.k() {
+                    Some(self.n_thread[n] as usize)
                 } else {
                     None
                 };
-                sched.assign(v, node.sdist - node.delay, unit);
+                sched.assign(v, self.n_sdist[n] - self.n_delay[n], unit);
             }
         }
         // Spill reloads issue as late as their state slack allows, so
@@ -372,19 +495,20 @@ impl ThreadedScheduler {
                 continue;
             }
             let Some(n) = self.node_of[v.index()] else { continue };
-            let node = &self.nodes[n as usize];
+            let n = n as usize;
             let mut latest = u64::MAX;
             for j in 0..self.threads {
-                if let Some(m) = node.out[j] {
+                let m = self.out[n * self.stride + j];
+                if m != NONE {
                     if let Some(succ) = self.op_of[m as usize] {
-                        let s = sched.start(succ).expect("state successors are scheduled");
-                        latest = latest.min(s);
+                        let st = sched.start(succ).expect("state successors are scheduled");
+                        latest = latest.min(st);
                     }
                 }
             }
             if latest != u64::MAX {
-                let asap = node.sdist - node.delay;
-                let alap = latest.saturating_sub(node.delay);
+                let asap = self.n_sdist[n] - self.n_delay[n];
+                let alap = latest.saturating_sub(self.n_delay[n]);
                 if alap > asap {
                     let unit = sched.unit(v);
                     sched.assign(v, alap, unit);
@@ -401,29 +525,28 @@ impl ThreadedScheduler {
         let mut graph = PrecedenceGraph::with_capacity(self.history.len());
         let mut ops = Vec::with_capacity(self.history.len());
         let mut threads = Vec::with_capacity(self.history.len());
-        let mut snap_of = vec![usize::MAX; self.nodes.len()];
-        for (n, node) in self.nodes.iter().enumerate() {
-            let Some(op) = self.op_of[n] else { continue };
-            let id = graph.add_op(self.g.kind(op), node.delay, self.g.label(op));
+        let mut snap_of = vec![usize::MAX; self.op_of.len()];
+        for (n, &op) in self.op_of.iter().enumerate() {
+            let Some(op) = op else { continue };
+            let id = graph.add_op(self.g.kind(op), self.n_delay[n], self.g.label(op));
             snap_of[n] = id.index();
             ops.push(op);
-            threads.push(node.thread);
+            threads.push(self.n_thread[n] as usize);
         }
-        for (n, node) in self.nodes.iter().enumerate() {
+        for n in 0..self.op_of.len() {
             if self.op_of[n].is_none() {
                 continue;
             }
             for j in 0..self.threads {
-                if let Some(m) = node.out[j] {
-                    if self.op_of[m as usize].is_some() {
-                        let from = OpId::from_index(snap_of[n]);
-                        let to = OpId::from_index(snap_of[m as usize]);
-                        graph.add_edge(from, to).expect("state edges are valid");
-                    }
+                let m = self.out[n * self.stride + j];
+                if m != NONE && self.op_of[m as usize].is_some() {
+                    let from = OpId::from_index(snap_of[n]);
+                    let to = OpId::from_index(snap_of[m as usize]);
+                    graph.add_edge(from, to).expect("state edges are valid");
                 }
             }
         }
-        StateSnapshot { graph, ops, threads }
+        StateSnapshot::new(graph, ops, threads)
     }
 
     /// Splices a chain of new operations onto the edge `from -> to` of the
@@ -498,31 +621,30 @@ impl ThreadedScheduler {
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{name}\" {{");
         let _ = writeln!(out, "  node [shape=box, style=filled, fontsize=10];");
-        for (n, node) in self.nodes.iter().enumerate() {
-            let Some(op) = self.op_of[n] else { continue };
+        for (n, &op) in self.op_of.iter().enumerate() {
+            let Some(op) = op else { continue };
             let _ = writeln!(
                 out,
                 "  n{} [label=\"{} ({})\\nthr {} @{}\", fillcolor={}];",
                 n,
                 self.g.label(op),
                 self.g.kind(op),
-                node.thread,
-                node.sdist - node.delay,
-                COLORS[node.thread % COLORS.len()],
+                self.n_thread[n],
+                self.n_sdist[n] - self.n_delay[n],
+                COLORS[self.n_thread[n] as usize % COLORS.len()],
             );
         }
-        for (n, node) in self.nodes.iter().enumerate() {
+        for n in 0..self.op_of.len() {
             if self.op_of[n].is_none() {
                 continue;
             }
             for j in 0..self.threads {
-                if let Some(m) = node.out[j] {
-                    if self.op_of[m as usize].is_none() {
-                        continue;
-                    }
-                    let style = if j == node.thread { "solid" } else { "dashed" };
-                    let _ = writeln!(out, "  n{n} -> n{m} [style={style}];");
+                let m = self.out[n * self.stride + j];
+                if m == NONE || self.op_of[m as usize].is_none() {
+                    continue;
                 }
+                let style = if j == self.n_thread[n] as usize { "solid" } else { "dashed" };
+                let _ = writeln!(out, "  n{n} -> n{m} [style={style}];");
             }
         }
         out.push_str("}\n");
@@ -540,72 +662,82 @@ impl ThreadedScheduler {
         self.g.set_kind(v, kind);
         self.g.set_delay(v, delay);
         if let Some(n) = self.node_of[v.index()] {
-            self.nodes[n as usize].delay = delay;
-            self.relabel();
+            self.total_delay = self.total_delay - self.n_delay[n as usize] + delay;
+            self.n_delay[n as usize] = delay;
+            // Delays may shrink, so increase-only propagation does not
+            // apply; this cold path relabels from scratch.
+            self.relabel_full();
         }
     }
 
     /// Verifies the internal invariants of the state: pointer symmetry,
-    /// chain integrity, the Lemma 7 degree bound, acyclicity, and label
-    /// freshness.
+    /// chain integrity, strictly increasing gap positions, the Lemma 7
+    /// degree bound, acyclicity, label freshness and reach-vector
+    /// freshness (the incremental engine against a from-scratch
+    /// recomputation).
     ///
     /// # Errors
     ///
     /// Returns a human-readable description of the first violation.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (ni, node) in self.nodes.iter().enumerate() {
-            let n = ni as u32;
-            if node.inc.len() != self.threads || node.out.len() != self.threads {
-                return Err(format!("node {ni}: edge arrays not sized to K"));
-            }
+        let s = self.stride;
+        if s < self.threads {
+            return Err(format!("stride {s} below thread count {}", self.threads));
+        }
+        let n_nodes = self.op_of.len();
+        for n in 0..n_nodes {
             for j in 0..self.threads {
-                if let Some(m) = node.out[j] {
-                    let mn = &self.nodes[m as usize];
-                    if mn.thread != j {
-                        return Err(format!("node {ni}: out[{j}] lands in thread {}", mn.thread));
+                let m = self.out[n * s + j];
+                if m != NONE {
+                    if self.n_thread[m as usize] as usize != j {
+                        return Err(format!(
+                            "node {n}: out[{j}] lands in thread {}",
+                            self.n_thread[m as usize]
+                        ));
                     }
-                    if mn.inc[node.thread] != Some(n) {
-                        return Err(format!("node {ni}: out[{j}] not mirrored by inc"));
+                    if self.inc[m as usize * s + self.n_thread[n] as usize] != n as u32 {
+                        return Err(format!("node {n}: out[{j}] not mirrored by inc"));
                     }
                 }
-                if let Some(m) = node.inc[j] {
-                    let mn = &self.nodes[m as usize];
-                    if mn.thread != j {
-                        return Err(format!("node {ni}: inc[{j}] from thread {}", mn.thread));
+                let m = self.inc[n * s + j];
+                if m != NONE {
+                    if self.n_thread[m as usize] as usize != j {
+                        return Err(format!(
+                            "node {n}: inc[{j}] from thread {}",
+                            self.n_thread[m as usize]
+                        ));
                     }
-                    if mn.out[node.thread] != Some(n) {
-                        return Err(format!("node {ni}: inc[{j}] not mirrored by out"));
+                    if self.out[m as usize * s + self.n_thread[n] as usize] != n as u32 {
+                        return Err(format!("node {n}: inc[{j}] not mirrored by out"));
                     }
                 }
             }
         }
         for k in 0..self.threads {
             let mut cur = self.sent_s[k];
-            let mut last_pos = self.nodes[cur as usize].pos;
+            let mut last_pos = self.n_pos[cur as usize];
             let mut count = 0usize;
             loop {
-                let Some(next) = self.nodes[cur as usize].out[k] else {
+                let next = self.out[cur as usize * s + k];
+                if next == NONE {
                     if cur != self.sent_t[k] {
                         return Err(format!("thread {k}: chain does not end at sentinel"));
                     }
                     break;
-                };
-                let np = self.nodes[next as usize].pos;
+                }
+                let np = self.n_pos[next as usize];
                 if np <= last_pos {
                     return Err(format!("thread {k}: positions not increasing"));
                 }
                 last_pos = np;
                 cur = next;
                 count += 1;
-                if count > self.nodes.len() {
+                if count > n_nodes {
                     return Err(format!("thread {k}: chain cycle"));
                 }
             }
-            let members = self
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(i, nd)| nd.thread == k && self.op_of[*i].is_some())
+            let members = (0..n_nodes)
+                .filter(|&i| self.n_thread[i] as usize == k && self.op_of[i].is_some())
                 .count();
             if members + 1 != count {
                 return Err(format!(
@@ -613,12 +745,28 @@ impl ThreadedScheduler {
                 ));
             }
         }
-        // Acyclicity + label freshness via a fresh relabel comparison.
-        let mut copy = self.clone();
-        copy.relabel();
-        for (ni, (a, b)) in self.nodes.iter().zip(copy.nodes.iter()).enumerate() {
-            if a.sdist != b.sdist || a.tdist != b.tdist {
-                return Err(format!("node {ni}: stale labels"));
+        for v in self.g.op_ids() {
+            let bit = self.sched_mask[v.index() / 64] >> (v.index() % 64) & 1 == 1;
+            if bit != self.node_of[v.index()].is_some() {
+                return Err(format!("{v}: sched_mask disagrees with node_of"));
+            }
+        }
+        // Acyclicity + freshness of the incrementally maintained labels
+        // and reach vectors, against a from-scratch recomputation.
+        let (sdist, tdist, rb, rf) = self
+            .compute_labels_full()
+            .ok_or_else(|| "scheduling state must stay acyclic".to_string())?;
+        for n in 0..n_nodes {
+            if self.n_sdist[n] != sdist[n] || self.tdist_of(n as u32) != tdist[n] {
+                return Err(format!("node {n}: stale labels"));
+            }
+            for j in 0..self.threads {
+                if self.reach_b[n * s + j] != rb[n * s + j] {
+                    return Err(format!("node {n}: stale backward reach in thread {j}"));
+                }
+                if self.reach_f[n * s + j] != rf[n * s + j] {
+                    return Err(format!("node {n}: stale forward reach in thread {j}"));
+                }
             }
         }
         Ok(())
@@ -631,49 +779,105 @@ impl ThreadedScheduler {
     fn push_thread(&mut self) -> usize {
         let k = self.threads;
         self.threads += 1;
-        for node in &mut self.nodes {
-            node.inc.push(None);
-            node.out.push(None);
+        if self.threads > self.stride {
+            self.grow_stride((self.stride * 2).max(self.threads));
         }
-        let s = self.alloc_raw_node(k, 0);
-        let t = self.alloc_raw_node(k, 0);
-        self.nodes[s as usize].out[k] = Some(t);
-        self.nodes[t as usize].inc[k] = Some(s);
-        self.nodes[t as usize].pos = 1;
-        self.sent_s.push(s);
-        self.sent_t.push(t);
+        let s_node = self.alloc_raw_node(k, 0);
+        let t_node = self.alloc_raw_node(k, 0);
+        self.out[s_node as usize * self.stride + k] = t_node;
+        self.inc[t_node as usize * self.stride + k] = s_node;
+        self.n_pos[t_node as usize] = GAP;
+        self.sent_s.push(s_node);
+        self.sent_t.push(t_node);
         k
     }
 
+    /// Re-lays the flat per-node tables for a wider row. Only wire
+    /// scheduling grows `K`, and doubling keeps the total relayout work
+    /// amortized over those pushes.
+    fn grow_stride(&mut self, new_stride: usize) {
+        let old = self.stride;
+        let n = self.op_of.len();
+        let relayout = |tab: &mut Vec<u32>| {
+            let mut next = vec![NONE; n * new_stride];
+            for i in 0..n {
+                next[i * new_stride..i * new_stride + old]
+                    .copy_from_slice(&tab[i * old..(i + 1) * old]);
+            }
+            *tab = next;
+        };
+        relayout(&mut self.inc);
+        relayout(&mut self.out);
+        relayout(&mut self.reach_b);
+        relayout(&mut self.reach_f);
+        self.stride = new_stride;
+    }
+
     fn alloc_raw_node(&mut self, thread: usize, delay: u64) -> u32 {
-        let idx = u32::try_from(self.nodes.len()).expect("node count exceeds u32");
-        self.nodes.push(Node::new(self.threads, thread, delay));
+        // Strictly below NONE: index u32::MAX would collide with the
+        // missing-edge sentinel of the flat tables.
+        assert!(
+            self.op_of.len() < NONE as usize,
+            "node count exceeds u32 sentinel space"
+        );
+        let idx = self.op_of.len() as u32;
+        self.total_delay += delay;
+        self.n_thread.push(thread as u32);
+        self.n_pos.push(0);
+        self.n_sdist.push(0);
+        {
+            let lz = self.n_tdist.get_mut();
+            lz.val.push(0);
+            lz.dirty.push(false);
+        }
+        self.n_delay.push(delay);
         self.op_of.push(None);
+        self.inc.extend(std::iter::repeat_n(NONE, self.stride));
+        self.out.extend(std::iter::repeat_n(NONE, self.stride));
+        self.reach_b.extend(std::iter::repeat_n(NONE, self.stride));
+        self.reach_f.extend(std::iter::repeat_n(NONE, self.stride));
         idx
     }
 
-    fn new_node(&mut self, thread: usize, delay: u64) -> u32 {
-        self.alloc_raw_node(thread, delay)
+    /// Assigns a gap-numbered position to `n`, just inserted between
+    /// `prev` and `next` in thread `k`. Tail inserts extend the
+    /// numbering (bumping the sentinel); mid-chain inserts bisect the
+    /// gap, renumbering the chain only when a gap is exhausted.
+    fn assign_pos(&mut self, n: u32, prev: u32, next: u32, k: usize) {
+        if next == self.sent_t[k] {
+            let p = self.n_pos[prev as usize] + GAP;
+            self.n_pos[n as usize] = p;
+            self.n_pos[next as usize] = p + GAP;
+        } else {
+            let lo = self.n_pos[prev as usize];
+            let hi = self.n_pos[next as usize];
+            if hi - lo >= 2 {
+                self.n_pos[n as usize] = lo + (hi - lo) / 2;
+            } else {
+                self.renumber_chain(k);
+            }
+        }
+    }
+
+    fn renumber_chain(&mut self, k: usize) {
+        let mut pos = 0u64;
+        let mut cur = self.sent_s[k];
+        loop {
+            self.n_pos[cur as usize] = pos;
+            pos += GAP;
+            let next = self.out[cur as usize * self.stride + k];
+            if next == NONE {
+                break;
+            }
+            cur = next;
+        }
     }
 
     fn chain_pred_op(&self, n: u32) -> Option<OpId> {
-        let node = &self.nodes[n as usize];
-        let prev = node.inc[node.thread].expect("real nodes have chain predecessors");
+        let k = self.n_thread[n as usize] as usize;
+        let prev = self.inc[n as usize * self.stride + k];
+        debug_assert_ne!(prev, NONE, "real nodes have chain predecessors");
         self.op_of[prev as usize]
-    }
-
-    fn scheduled_ancestors(&self, v: OpId) -> Vec<u32> {
-        self.anc
-            .iter_row(v.index())
-            .filter_map(|i| self.node_of[i])
-            .collect()
-    }
-
-    fn scheduled_descendants(&self, v: OpId) -> Vec<u32> {
-        self.desc
-            .iter_row(v.index())
-            .filter_map(|i| self.node_of[i])
-            .collect()
     }
 
     /// Wire-class operations occupy no functional unit: each becomes its
@@ -688,11 +892,214 @@ impl ThreadedScheduler {
         };
         self.commit(placement, v);
         let n = self.node_of[v.index()].expect("just committed");
-        let node = &self.nodes[n as usize];
         Ok(Placement {
-            cost: node.sdist + node.tdist - node.delay,
+            cost: self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize],
             ..placement
         })
+    }
+
+    /// Exact `tdist(x)`, repairing the dirty forward cone on demand.
+    fn tdist_of(&self, x: u32) -> u64 {
+        let mut lz = self.n_tdist.borrow_mut();
+        self.repair_tdist(&mut lz, x);
+        lz.val[x as usize]
+    }
+
+    /// Pull-based repair: recomputes every dirty node in the forward
+    /// cone of `x` from its (recursively repaired) out-neighbours.
+    fn repair_tdist(&self, lz: &mut TdistLazy, x: u32) {
+        if !lz.dirty[x as usize] {
+            return;
+        }
+        let s = self.stride;
+        // Repairing a (never-legal) cyclic state would chase dirty
+        // nodes around the cycle forever; the stack bound fails fast
+        // instead, mirroring the seed's relabel assert.
+        let stack_bound = self.op_of.len() * (self.threads + 1) + 64;
+        let mut stack = std::mem::take(&mut lz.stack);
+        stack.clear();
+        stack.push(x);
+        while let Some(&y) = stack.last() {
+            assert!(stack.len() <= stack_bound, "scheduling state must stay acyclic");
+            let yi = y as usize;
+            if !lz.dirty[yi] {
+                stack.pop();
+                continue;
+            }
+            let mut pending = false;
+            for j in 0..self.threads {
+                let z = self.out[yi * s + j];
+                if z != NONE && lz.dirty[z as usize] {
+                    stack.push(z);
+                    pending = true;
+                }
+            }
+            if pending {
+                continue;
+            }
+            let mut best = 0;
+            for j in 0..self.threads {
+                let z = self.out[yi * s + j];
+                if z != NONE {
+                    best = best.max(lz.val[z as usize]);
+                }
+            }
+            lz.val[yi] = best + self.n_delay[yi];
+            lz.dirty[yi] = false;
+            stack.pop();
+        }
+        lz.stack = stack;
+    }
+
+    /// Marks the backward cone of `n` dirty, stopping at already-dirty
+    /// nodes. Each node is marked at most once between repairs, so the
+    /// steady-state cost per commit is `O(K)` — this is what removes
+    /// the seed's full-relabel `Θ(|V|·K)` from every commit.
+    fn invalidate_tdist_backward(&self, n: u32, lz: &mut TdistLazy) {
+        let s = self.stride;
+        let mut stack = std::mem::take(&mut lz.stack);
+        stack.clear();
+        stack.push(n);
+        while let Some(y) = stack.pop() {
+            for j in 0..self.threads {
+                let p = self.inc[y as usize * s + j];
+                if p != NONE && !lz.dirty[p as usize] {
+                    lz.dirty[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        lz.stack = stack;
+    }
+
+    /// Sizes the scratch buffers and opens a fresh visitation epoch.
+    fn prep_scratch(&self, sc: &mut Scratch) {
+        if sc.epoch == u32::MAX {
+            sc.op_seen.iter_mut().for_each(|e| *e = 0);
+            sc.epoch = 0;
+        }
+        sc.epoch += 1;
+        if sc.op_seen.len() < self.g.len() {
+            sc.op_seen.resize(self.g.len(), 0);
+        }
+        if sc.lo.len() < self.threads {
+            sc.lo.resize(self.threads, NONE);
+            sc.hi.resize(self.threads, NONE);
+        }
+    }
+
+    /// Walks the *scheduled frontier* of `v`: the first scheduled
+    /// operation along every predecessor (resp. successor) path of the
+    /// behavior graph. Every other scheduled ancestor/descendant is
+    /// ordered through a frontier member (correctness condition), so the
+    /// frontier alone determines the feasible windows and intrinsic
+    /// distances. The walk descends through unscheduled ops only, pruned
+    /// by word-parallel closure∩scheduled checks.
+    fn collect_frontiers(&self, v: OpId, sc: &mut Scratch) {
+        let e = sc.epoch;
+        sc.preds_f.clear();
+        sc.succs_f.clear();
+        sc.stack.clear();
+        for &p in self.g.preds(v) {
+            sc.stack.push(p.index() as u32);
+        }
+        while let Some(x) = sc.stack.pop() {
+            let xi = x as usize;
+            if sc.op_seen[xi] == e {
+                continue;
+            }
+            sc.op_seen[xi] = e;
+            if let Some(n) = self.node_of[xi] {
+                sc.preds_f.push(n);
+            } else if self.anc.row_intersects(xi, &self.sched_mask) {
+                for &p in self.g.preds(OpId::from_index(xi)) {
+                    sc.stack.push(p.index() as u32);
+                }
+            }
+        }
+        // An op's ancestors and descendants are disjoint (DAG), so the
+        // epoch marks are shared between the two walks.
+        if self.desc.row_intersects(v.index(), &self.sched_mask) {
+            sc.stack.clear();
+            for &q in self.g.succs(v) {
+                sc.stack.push(q.index() as u32);
+            }
+            while let Some(x) = sc.stack.pop() {
+                let xi = x as usize;
+                if sc.op_seen[xi] == e {
+                    continue;
+                }
+                sc.op_seen[xi] = e;
+                if let Some(n) = self.node_of[xi] {
+                    sc.succs_f.push(n);
+                } else if self.desc.row_intersects(xi, &self.sched_mask) {
+                    for &q in self.g.succs(OpId::from_index(xi)) {
+                        sc.stack.push(q.index() as u32);
+                    }
+                }
+            }
+        }
+        // Deterministic rule-application and window order, matching the
+        // seed's ancestor-row iteration (increasing op index).
+        sc.preds_f.sort_unstable_by_key(|&n| self.op_of[n as usize]);
+        sc.succs_f.sort_unstable_by_key(|&n| self.op_of[n as usize]);
+    }
+
+    /// Folds the frontier and its reach vectors into per-thread windows
+    /// (`sc.lo`/`sc.hi`) and returns `(intrinsic_src, intrinsic_snk)`.
+    fn absorb_windows(&self, sc: &mut Scratch) -> (u64, u64) {
+        sc.lo[..self.threads].fill(NONE);
+        sc.hi[..self.threads].fill(NONE);
+        let s = self.stride;
+        let mut isrc = 0u64;
+        let mut isnk = 0u64;
+        for &p in &sc.preds_f {
+            let pi = p as usize;
+            isrc = isrc.max(self.n_sdist[pi]);
+            let tp = self.n_thread[pi] as usize;
+            sc.lo[tp] = self.later(sc.lo[tp], p);
+            for (j, slot) in sc.lo[..self.threads].iter_mut().enumerate() {
+                let r = self.reach_b[pi * s + j];
+                if r != NONE {
+                    *slot = self.later(*slot, r);
+                }
+            }
+        }
+        for &q in &sc.succs_f {
+            let qi = q as usize;
+            isnk = isnk.max(self.tdist_of(q));
+            let tq = self.n_thread[qi] as usize;
+            sc.hi[tq] = self.earlier(sc.hi[tq], q);
+            for (j, slot) in sc.hi[..self.threads].iter_mut().enumerate() {
+                let r = self.reach_f[qi * s + j];
+                if r != NONE {
+                    *slot = self.earlier(*slot, r);
+                }
+            }
+        }
+        (isrc, isnk)
+    }
+
+    /// Later (max-pos) of two same-thread nodes; [`NONE`] loses.
+    fn later(&self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            b
+        } else if b == NONE || self.n_pos[a as usize] >= self.n_pos[b as usize] {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Earlier (min-pos) of two same-thread nodes; [`NONE`] loses.
+    fn earlier(&self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            b
+        } else if b == NONE || self.n_pos[a as usize] <= self.n_pos[b as usize] {
+            a
+        } else {
+            b
+        }
     }
 
     fn for_each_feasible(
@@ -704,206 +1111,269 @@ impl ThreadedScheduler {
             return Err(SchedError::UnknownOp(v));
         }
         let kind = self.g.kind(v);
-        let eligible: Vec<usize> = (0..self.resources.k())
-            .filter(|&k| self.resources.compatible(k, kind))
-            .collect();
-        if eligible.is_empty() {
+        if !(0..self.resources.k()).any(|k| self.resources.compatible(k, kind)) {
             return Err(SchedError::NoCompatibleUnit(v, kind));
         }
-
-        let pred_nodes = self.scheduled_ancestors(v);
-        let succ_nodes = self.scheduled_descendants(v);
-        let intrinsic_src = pred_nodes
-            .iter()
-            .map(|&p| self.nodes[p as usize].sdist)
-            .max()
-            .unwrap_or(0);
-        let intrinsic_snk = succ_nodes
-            .iter()
-            .map(|&q| self.nodes[q as usize].tdist)
-            .max()
-            .unwrap_or(0);
-
-        // Feasible windows per thread, from the *state* order: insertion
-        // after `cur` is legal iff no state-descendant of a scheduled
-        // G-successor is at or before `cur`, and no state-ancestor of a
-        // scheduled G-predecessor is after `cur`.
-        let back = self.mark(&pred_nodes, Direction::Backward);
-        let fwd = self.mark(&succ_nodes, Direction::Forward);
-        let mut lo = vec![0u64; self.threads];
-        let mut hi = vec![u64::MAX; self.threads];
-        for (ni, node) in self.nodes.iter().enumerate() {
-            if back[ni] {
-                lo[node.thread] = lo[node.thread].max(node.pos);
-            }
-            if fwd[ni] {
-                hi[node.thread] = hi[node.thread].min(node.pos);
-            }
-        }
-
+        let mut sc = self.scratch.take();
+        self.prep_scratch(&mut sc);
+        self.collect_frontiers(v, &mut sc);
+        let (isrc, isnk) = self.absorb_windows(&mut sc);
         let delay = self.g.delay(v);
-        for k in eligible {
-            let mut cur = self.sent_s[k];
+        let s = self.stride;
+        for k in 0..self.resources.k() {
+            if !self.resources.compatible(k, kind) {
+                continue;
+            }
+            // The feasible positions form one contiguous window per
+            // thread: from the latest state-ancestor (inclusive) up to
+            // the earliest state-descendant (exclusive). Start the scan
+            // there instead of at the chain head.
+            let mut cur = if sc.lo[k] != NONE { sc.lo[k] } else { self.sent_s[k] };
+            let hi_pos = if sc.hi[k] != NONE {
+                self.n_pos[sc.hi[k] as usize]
+            } else {
+                u64::MAX
+            };
             loop {
-                let node = &self.nodes[cur as usize];
-                let Some(next) = node.out[k] else { break };
-                if node.pos >= lo[k] && node.pos < hi[k] {
-                    let nn = &self.nodes[next as usize];
-                    let sdist = node.sdist.max(intrinsic_src);
-                    let tdist = nn.tdist.max(intrinsic_snk);
-                    f(Placement {
-                        thread: k,
-                        after: self.op_of[cur as usize],
-                        cost: sdist + tdist + delay,
-                    });
+                let next = self.out[cur as usize * s + k];
+                if next == NONE || self.n_pos[cur as usize] >= hi_pos {
+                    break;
                 }
+                let sd = self.n_sdist[cur as usize].max(isrc);
+                let td = self.tdist_of(next).max(isnk);
+                f(Placement {
+                    thread: k,
+                    after: self.op_of[cur as usize],
+                    cost: sd + td + delay,
+                });
                 cur = next;
             }
         }
+        self.scratch.replace(sc);
         Ok(())
-    }
-
-    fn mark(&self, roots: &[u32], dir: Direction) -> Vec<bool> {
-        let mut marked = vec![false; self.nodes.len()];
-        let mut stack: Vec<u32> = Vec::new();
-        for &r in roots {
-            if !marked[r as usize] {
-                marked[r as usize] = true;
-                stack.push(r);
-            }
-        }
-        while let Some(n) = stack.pop() {
-            let node = &self.nodes[n as usize];
-            let edges = match dir {
-                Direction::Backward => &node.inc,
-                Direction::Forward => &node.out,
-            };
-            for &e in edges.iter().flatten() {
-                if !marked[e as usize] {
-                    marked[e as usize] = true;
-                    stack.push(e);
-                }
-            }
-        }
-        marked
     }
 
     /// Figure 2 rules (a)–(c): link a scheduled G-ancestor `p` to the new
     /// node `n` in thread `k`, keeping only tightest representative edges.
     fn apply_pred_rule(&mut self, p: u32, n: u32, k: usize) {
-        let j = self.nodes[p as usize].thread;
-        match self.nodes[p as usize].out[k] {
+        let s = self.stride;
+        let j = self.n_thread[p as usize] as usize;
+        let q = self.out[p as usize * s + k];
+        if q != NONE {
             // Rule (a): existing edge to a vertex at or before `n` already
             // implies `p ≺ n` through the chain.
-            Some(q) if q == n || self.nodes[q as usize].pos < self.nodes[n as usize].pos => {
+            if q == n || self.n_pos[q as usize] < self.n_pos[n as usize] {
                 return;
             }
             // Rule (c): the edge overshoots `n`; retarget it.
-            Some(q) => {
-                debug_assert_eq!(self.nodes[q as usize].inc[j], Some(p));
-                self.nodes[q as usize].inc[j] = None;
-                self.nodes[p as usize].out[k] = None;
-            }
-            // Rule (b): no edge into thread `k` yet.
-            None => {}
+            debug_assert_eq!(self.inc[q as usize * s + j], p);
+            self.inc[q as usize * s + j] = NONE;
+            self.out[p as usize * s + k] = NONE;
         }
-        match self.nodes[n as usize].inc[j] {
-            Some(p2) if p2 == p => {
-                self.nodes[p as usize].out[k] = Some(n);
-            }
+        // Rule (b) otherwise: no edge into thread `k` yet.
+        let p2 = self.inc[n as usize * s + j];
+        if p2 == p {
+            self.out[p as usize * s + k] = n;
+        } else if p2 != NONE && self.n_pos[p2 as usize] > self.n_pos[p as usize] {
             // A later vertex of thread `j` already guards `n`; `p ≺ p2 ≺ n`.
-            Some(p2) if self.nodes[p2 as usize].pos > self.nodes[p as usize].pos => {}
+        } else {
             // `p` is tighter than the recorded predecessor; displace it.
-            Some(p2) => {
-                self.nodes[p2 as usize].out[k] = None;
-                self.nodes[n as usize].inc[j] = Some(p);
-                self.nodes[p as usize].out[k] = Some(n);
+            if p2 != NONE {
+                self.out[p2 as usize * s + k] = NONE;
             }
-            None => {
-                self.nodes[n as usize].inc[j] = Some(p);
-                self.nodes[p as usize].out[k] = Some(n);
-            }
+            self.inc[n as usize * s + j] = p;
+            self.out[p as usize * s + k] = n;
         }
     }
 
     /// Figure 2 rules (d)–(f): link the new node `n` (thread `k`) to a
     /// scheduled G-descendant `q`.
     fn apply_succ_rule(&mut self, q: u32, n: u32, k: usize) {
-        let j2 = self.nodes[q as usize].thread;
-        match self.nodes[q as usize].inc[k] {
+        let s = self.stride;
+        let j2 = self.n_thread[q as usize] as usize;
+        let u = self.inc[q as usize * s + k];
+        if u != NONE {
             // Rule (d): `q` already follows a vertex after `n` in thread
             // `k`; `n ≺ u ≺ q` through the chain.
-            Some(u) if u == n || self.nodes[u as usize].pos > self.nodes[n as usize].pos => {
+            if u == n || self.n_pos[u as usize] > self.n_pos[n as usize] {
                 return;
             }
             // Rule (f): the edge comes from before `n`; retarget it.
-            Some(u) => {
-                debug_assert_eq!(self.nodes[u as usize].out[j2], Some(q));
-                self.nodes[u as usize].out[j2] = None;
-                self.nodes[q as usize].inc[k] = None;
-            }
-            // Rule (e): no edge from thread `k` yet.
-            None => {}
+            debug_assert_eq!(self.out[u as usize * s + j2], q);
+            self.out[u as usize * s + j2] = NONE;
+            self.inc[q as usize * s + k] = NONE;
         }
-        match self.nodes[n as usize].out[j2] {
-            Some(q2) if q2 == q => {
-                self.nodes[q as usize].inc[k] = Some(n);
-            }
+        // Rule (e) otherwise: no edge from thread `k` yet.
+        let q2 = self.out[n as usize * s + j2];
+        if q2 == q {
+            self.inc[q as usize * s + k] = n;
+        } else if q2 != NONE && self.n_pos[q2 as usize] < self.n_pos[q as usize] {
             // An earlier vertex of thread `j2` is already guarded;
             // `n ≺ q2 ≺ q`.
-            Some(q2) if self.nodes[q2 as usize].pos < self.nodes[q as usize].pos => {}
-            Some(q2) => {
-                self.nodes[q2 as usize].inc[k] = None;
-                self.nodes[n as usize].out[j2] = Some(q);
-                self.nodes[q as usize].inc[k] = Some(n);
+        } else {
+            if q2 != NONE {
+                self.inc[q2 as usize * s + k] = NONE;
             }
-            None => {
-                self.nodes[n as usize].out[j2] = Some(q);
-                self.nodes[q as usize].inc[k] = Some(n);
-            }
+            self.out[n as usize * s + j2] = q;
+            self.inc[q as usize * s + k] = n;
         }
     }
 
-    fn renumber_chain(&mut self, k: usize) {
-        let mut pos = 0u64;
-        let mut cur = self.sent_s[k];
-        loop {
-            self.nodes[cur as usize].pos = pos;
-            pos += 1;
-            match self.nodes[cur as usize].out[k] {
-                Some(next) => cur = next,
-                None => break,
+    /// Seeds the labels and reach vectors of a freshly linked node from
+    /// its (final) direct state edges. The out-neighbours' `tdist` must
+    /// already be repaired.
+    fn init_new_node(&mut self, n: u32, lz: &mut TdistLazy) {
+        let s = self.stride;
+        let ni = n as usize;
+        let mut sd = 0u64;
+        let mut td = 0u64;
+        for j in 0..self.threads {
+            let m = self.inc[ni * s + j];
+            if m != NONE {
+                let mi = m as usize;
+                sd = sd.max(self.n_sdist[mi]);
+                for t in 0..self.threads {
+                    let mut c = self.reach_b[mi * s + t];
+                    if self.n_thread[mi] as usize == t && self.op_of[mi].is_some() {
+                        c = self.later(c, m);
+                    }
+                    if c != NONE {
+                        self.reach_b[ni * s + t] = self.later(self.reach_b[ni * s + t], c);
+                    }
+                }
+            }
+            let m = self.out[ni * s + j];
+            if m != NONE {
+                let mi = m as usize;
+                debug_assert!(!lz.dirty[mi], "out-neighbour tdist must be repaired");
+                td = td.max(lz.val[mi]);
+                for t in 0..self.threads {
+                    let mut c = self.reach_f[mi * s + t];
+                    if self.n_thread[mi] as usize == t && self.op_of[mi].is_some() {
+                        c = self.earlier(c, m);
+                    }
+                    if c != NONE {
+                        self.reach_f[ni * s + t] = self.earlier(self.reach_f[ni * s + t], c);
+                    }
+                }
             }
         }
+        self.n_sdist[ni] = sd + self.n_delay[ni];
+        lz.val[ni] = td + self.n_delay[ni];
+        lz.dirty[ni] = false;
     }
 
-    /// The paper's `forwardLabel` / `backwardLabel`: recomputes `sdist`
-    /// and `tdist` for every node by one topological pass each. Linear in
-    /// the state size times `K` (Lemma 7 bounds the degree by `K`).
-    fn relabel(&mut self) {
-        let n = self.nodes.len();
-        let mut indeg: Vec<usize> = self
-            .nodes
-            .iter()
-            .map(|nd| nd.inc.iter().flatten().count())
-            .collect();
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
-        let mut head = 0;
-        let mut topo: Vec<u32> = Vec::with_capacity(n);
-        while head < queue.len() {
-            let i = queue[head];
-            head += 1;
-            topo.push(i);
-            let best = self.nodes[i as usize]
-                .inc
-                .iter()
-                .flatten()
-                .map(|&p| self.nodes[p as usize].sdist)
-                .max()
-                .unwrap_or(0);
-            self.nodes[i as usize].sdist = best + self.nodes[i as usize].delay;
+    /// Increase-only relaxation of `sdist` and the backward reach
+    /// vectors over the forward cone of `from`. Edge retargeting during
+    /// `commit` only replaces an edge by a longer-or-equal path through
+    /// the new node, so labels are monotone and the worklist touches
+    /// only nodes whose values actually change.
+    fn propagate_forward(&mut self, from: u32, queue: &mut Vec<u32>) {
+        let s = self.stride;
+        queue.clear();
+        queue.push(from);
+        while let Some(x) = queue.pop() {
+            let xi = x as usize;
+            let x_thread = self.n_thread[xi] as usize;
+            let x_real = self.op_of[xi].is_some();
             for j in 0..self.threads {
-                if let Some(m) = self.nodes[i as usize].out[j] {
+                let z = self.out[xi * s + j];
+                if z == NONE {
+                    continue;
+                }
+                let zi = z as usize;
+                let mut improved = false;
+                let cand = self.n_sdist[xi] + self.n_delay[zi];
+                // No legal path exceeds the sum of all delays; a larger
+                // label means an invalid placement closed a state cycle
+                // and the relaxation is orbiting it.
+                assert!(cand <= self.total_delay, "scheduling state must stay acyclic");
+                if cand > self.n_sdist[zi] {
+                    self.n_sdist[zi] = cand;
+                    improved = true;
+                }
+                for t in 0..self.threads {
+                    let mut c = self.reach_b[xi * s + t];
+                    if t == x_thread && x_real {
+                        c = self.later(c, x);
+                    }
+                    if c != NONE {
+                        let cur = self.reach_b[zi * s + t];
+                        let m = self.later(cur, c);
+                        if m != cur {
+                            self.reach_b[zi * s + t] = m;
+                            improved = true;
+                        }
+                    }
+                }
+                if improved {
+                    queue.push(z);
+                }
+            }
+        }
+    }
+
+    /// Mirror of [`Self::propagate_forward`] for the forward reach
+    /// vectors over the backward cone. (`tdist` itself is *not* pushed
+    /// eagerly — see [`TdistLazy`] — because a tail commit's backward
+    /// cone is nearly the whole state; reach entries, by contrast, only
+    /// change for nodes that previously had no thread-`k` descendant,
+    /// so this walk self-limits.)
+    fn propagate_reach_backward(&mut self, from: u32, queue: &mut Vec<u32>) {
+        let s = self.stride;
+        queue.clear();
+        queue.push(from);
+        while let Some(x) = queue.pop() {
+            let xi = x as usize;
+            let x_thread = self.n_thread[xi] as usize;
+            let x_real = self.op_of[xi].is_some();
+            for j in 0..self.threads {
+                let z = self.inc[xi * s + j];
+                if z == NONE {
+                    continue;
+                }
+                let zi = z as usize;
+                let mut improved = false;
+                for t in 0..self.threads {
+                    let mut c = self.reach_f[xi * s + t];
+                    if t == x_thread && x_real {
+                        c = self.earlier(c, x);
+                    }
+                    if c != NONE {
+                        let cur = self.reach_f[zi * s + t];
+                        let m = self.earlier(cur, c);
+                        if m != cur {
+                            self.reach_f[zi * s + t] = m;
+                            improved = true;
+                        }
+                    }
+                }
+                if improved {
+                    queue.push(z);
+                }
+            }
+        }
+    }
+
+    /// Topological order of the threaded-graph nodes, or `None` if the
+    /// state has a cycle (it never should).
+    fn topo_nodes(&self) -> Option<Vec<u32>> {
+        let s = self.stride;
+        let n_nodes = self.op_of.len();
+        let mut indeg = vec![0usize; n_nodes];
+        for (i, d) in indeg.iter_mut().enumerate() {
+            *d = (0..self.threads).filter(|&j| self.inc[i * s + j] != NONE).count();
+        }
+        let mut queue: Vec<u32> = (0..n_nodes as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head] as usize;
+            head += 1;
+            for j in 0..self.threads {
+                let m = self.out[i * s + j];
+                if m != NONE {
                     indeg[m as usize] -= 1;
                     if indeg[m as usize] == 0 {
                         queue.push(m);
@@ -911,40 +1381,140 @@ impl ThreadedScheduler {
                 }
             }
         }
-        assert_eq!(topo.len(), n, "scheduling state must stay acyclic");
+        (queue.len() == n_nodes).then_some(queue)
+    }
+
+    /// From-scratch recomputation of labels and reach vectors — the
+    /// verification oracle for the incremental engine, and the engine
+    /// behind [`Self::relabel_full`].
+    fn compute_labels_full(&self) -> Option<FullLabels> {
+        let topo = self.topo_nodes()?;
+        let s = self.stride;
+        let n_nodes = self.op_of.len();
+        let mut sdist = vec![0u64; n_nodes];
+        let mut tdist = vec![0u64; n_nodes];
+        let mut rb = vec![NONE; n_nodes * s];
+        let mut rf = vec![NONE; n_nodes * s];
+        for &i in &topo {
+            let ii = i as usize;
+            let mut best = 0;
+            for j in 0..self.threads {
+                let m = self.inc[ii * s + j];
+                if m == NONE {
+                    continue;
+                }
+                let mi = m as usize;
+                best = best.max(sdist[mi]);
+                for t in 0..self.threads {
+                    let mut c = rb[mi * s + t];
+                    if self.n_thread[mi] as usize == t && self.op_of[mi].is_some() {
+                        c = self.later(c, m);
+                    }
+                    if c != NONE {
+                        rb[ii * s + t] = self.later(rb[ii * s + t], c);
+                    }
+                }
+            }
+            sdist[ii] = best + self.n_delay[ii];
+        }
         for &i in topo.iter().rev() {
-            let best = self.nodes[i as usize]
-                .out
-                .iter()
-                .flatten()
-                .map(|&q| self.nodes[q as usize].tdist)
-                .max()
-                .unwrap_or(0);
-            self.nodes[i as usize].tdist = best + self.nodes[i as usize].delay;
+            let ii = i as usize;
+            let mut best = 0;
+            for j in 0..self.threads {
+                let m = self.out[ii * s + j];
+                if m == NONE {
+                    continue;
+                }
+                let mi = m as usize;
+                best = best.max(tdist[mi]);
+                for t in 0..self.threads {
+                    let mut c = rf[mi * s + t];
+                    if self.n_thread[mi] as usize == t && self.op_of[mi].is_some() {
+                        c = self.earlier(c, m);
+                    }
+                    if c != NONE {
+                        rf[ii * s + t] = self.earlier(rf[ii * s + t], c);
+                    }
+                }
+            }
+            tdist[ii] = best + self.n_delay[ii];
+        }
+        Some((sdist, tdist, rb, rf))
+    }
+
+    /// The paper's `forwardLabel` / `backwardLabel` from scratch — used
+    /// only on the cold paths (delay retyping), never per commit.
+    fn relabel_full(&mut self) {
+        let (sdist, tdist, rb, rf) = self
+            .compute_labels_full()
+            .expect("scheduling state must stay acyclic");
+        self.n_sdist = sdist;
+        let lz = self.n_tdist.get_mut();
+        lz.dirty.iter_mut().for_each(|d| *d = false);
+        lz.val = tdist;
+        self.reach_b = rb;
+        self.reach_f = rf;
+    }
+
+    /// Absorbs behavior-graph growth (splices, ECO ops) into the
+    /// scheduler: resizes the op-indexed tables and grows the
+    /// ancestor/descendant closures *incrementally* — new rows are
+    /// unions over direct neighbours, and only the rows of actual
+    /// ancestors/descendants of the new ops are widened (word-parallel),
+    /// instead of recomputing the full `O(|V|³/64)` transitive closure.
+    fn sync_graph_growth(&mut self) {
+        let old = self.node_of.len();
+        let new = self.g.len();
+        self.node_of.resize(new, None);
+        self.sched_mask.resize(new.div_ceil(64), 0);
+        if new == old {
+            return;
+        }
+        self.anc.grow(new);
+        self.desc.grow(new);
+        // The mutation API only creates edges from lower-index ops into
+        // a new op (splice chains run forward), so one increasing pass
+        // finalises ancestor rows and one decreasing pass descendant
+        // rows.
+        for w in old..new {
+            let wi = OpId::from_index(w);
+            for &p in self.g.preds(wi) {
+                debug_assert!(p.index() < w, "new-op edges must run forward");
+                self.anc.or_row_into(p.index(), w);
+                self.anc.set(w, p.index());
+            }
+        }
+        for w in (old..new).rev() {
+            let wi = OpId::from_index(w);
+            for &q in self.g.succs(wi) {
+                debug_assert!(q.index() < old || q.index() > w);
+                self.desc.or_row_into(q.index(), w);
+                self.desc.set(w, q.index());
+            }
+        }
+        // Existing ancestors learn the new descendants and vice versa.
+        for w in old..new {
+            let ancs: Vec<usize> = self.anc.iter_row(w).collect();
+            for x in ancs {
+                self.desc.or_row_into(w, x);
+                self.desc.set(x, w);
+            }
+            let descs: Vec<usize> = self.desc.iter_row(w).collect();
+            for y in descs {
+                self.anc.or_row_into(w, y);
+                self.anc.set(y, w);
+            }
         }
     }
-
-    fn sync_graph_growth(&mut self) {
-        self.node_of.resize(self.g.len(), None);
-        let (anc, desc) = closures(&self.g);
-        self.anc = anc;
-        self.desc = desc;
-    }
 }
 
-enum Direction {
-    Backward,
-    Forward,
-}
-
+/// Both strict closures of `g`: descendants via one topological sweep of
+/// word-parallel row unions, ancestors as its word-parallel
+/// [`BitMatrix::transpose`] (the seed built the ancestor matrix with
+/// bit-by-bit `set` calls).
 fn closures(g: &PrecedenceGraph) -> (BitMatrix, BitMatrix) {
     let desc = algo::transitive_closure(g);
-    let mut anc = BitMatrix::new(g.len());
-    for v in g.op_ids() {
-        for d in desc.iter_row(v.index()) {
-            anc.set(d, v.index());
-        }
-    }
+    let anc = desc.transpose();
     (anc, desc)
 }
 
@@ -986,9 +1556,8 @@ mod tests {
             let placements = ts.feasible_placements(op).unwrap();
             let p = placements
                 .iter()
-                .filter(|p| p.thread == thread)
-                .last()
                 .copied()
+                .rfind(|p| p.thread == thread)
                 .unwrap();
             ts.commit(p, op);
         }
@@ -1048,9 +1617,8 @@ mod tests {
             let p = ts.select(op).unwrap();
             ts.commit(p, op);
             let n = ts.node_of[op.index()].unwrap();
-            let node = &ts.nodes[n as usize];
             assert_eq!(
-                node.sdist + node.tdist - node.delay,
+                ts.n_sdist[n as usize] + ts.tdist_of(n) - ts.n_delay[n as usize],
                 p.cost,
                 "select's cost must equal the committed distance of {op}"
             );
@@ -1155,7 +1723,7 @@ mod tests {
             (v[4], 1),
         ] {
             let placements = ts.feasible_placements(op).unwrap();
-            let p = placements.iter().filter(|p| p.thread == thread).last().copied().unwrap();
+            let p = placements.iter().copied().rfind(|p| p.thread == thread).unwrap();
             ts.commit(p, op);
         }
         assert_eq!(ts.diameter(), 5);
@@ -1205,5 +1773,74 @@ mod tests {
         assert_eq!(snap.ops.len(), 2);
         assert!(snap.ops.contains(&v[0]));
         assert!(snap.ops.contains(&v[2]));
+    }
+
+    #[test]
+    fn repeated_head_insertion_exhausts_gaps_and_renumbers() {
+        // 200 independent ops forced into the head of one thread: the
+        // midpoint positions collapse until renumber_chain fires (many
+        // times), and the state must stay coherent throughout.
+        let mut g = PrecedenceGraph::new();
+        let ids: Vec<OpId> = (0..200)
+            .map(|i| g.add_op(OpKind::Add, 1, format!("h{i}")))
+            .collect();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::uniform(1)).unwrap();
+        for &v in &ids {
+            ts.commit(
+                Placement {
+                    thread: 0,
+                    after: None,
+                    cost: 0,
+                },
+                v,
+            );
+        }
+        ts.check_invariants().unwrap();
+        let chain = ts.chain(0);
+        let reversed: Vec<OpId> = ids.iter().rev().copied().collect();
+        assert_eq!(chain, reversed, "head insertion reverses the order");
+        assert_eq!(ts.diameter(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling state must stay acyclic")]
+    fn forged_placement_that_closes_a_cycle_fails_fast() {
+        // commit() documents panicking on placements not produced by
+        // select(): placing an ancestor *after* its scheduled
+        // descendant closes a state cycle, and the incremental engine
+        // must fail fast like the seed's relabel did.
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Add, 1, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, b).unwrap();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::uniform(1)).unwrap();
+        ts.schedule(b).unwrap();
+        ts.commit(
+            Placement {
+                thread: 0,
+                after: Some(b),
+                cost: 0,
+            },
+            a,
+        );
+    }
+
+    #[test]
+    fn wire_threads_grow_the_stride_coherently() {
+        // Enough wire ops to force several stride doublings.
+        let mut g = PrecedenceGraph::new();
+        let mut prev = g.add_op(OpKind::Add, 1, "a0");
+        let mut all = vec![prev];
+        for i in 0..20 {
+            let w = g.add_op(OpKind::WireDelay, 1, format!("w{i}"));
+            g.add_edge(prev, w).unwrap();
+            prev = w;
+            all.push(w);
+        }
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::uniform(1)).unwrap();
+        ts.schedule_all(all).unwrap();
+        ts.check_invariants().unwrap();
+        assert_eq!(ts.thread_count(), 21);
+        assert_eq!(ts.diameter(), 21);
     }
 }

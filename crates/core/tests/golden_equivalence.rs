@@ -1,0 +1,166 @@
+//! Golden equivalence: the optimized [`ThreadedScheduler`] must behave
+//! *bit-identically* to the frozen seed implementation
+//! ([`ReferenceScheduler`]) — the incremental engine is a pure
+//! performance refactor (see `DESIGN.md` §4).
+//!
+//! Identical means: the same `Placement` (thread, after, cost) for every
+//! operation of every meta order, the same per-thread chains, the same
+//! diameter trajectory, and the same final `extract_hard()` schedule.
+//! The suite drives both schedulers in lockstep over seeded random
+//! graphs — including a ≥1000-op workload — under topological,
+//! depth-first, path-based, list-based and non-topological random meta
+//! orders, plus wire-delay refinement, and fuzzes `check_invariants()`
+//! after every commit on smaller cases.
+
+use hls_ir::{generate, DelayModel, OpId, OpKind, PrecedenceGraph, ResourceSet};
+use proptest::prelude::*;
+use threaded_sched::{meta::MetaSchedule, ReferenceScheduler, ThreadedScheduler};
+
+/// Drives both schedulers through `order`, asserting lockstep placement
+/// equality, and compares the final state observables.
+fn assert_equivalent_run(g: &PrecedenceGraph, r: &ResourceSet, order: &[OpId], tag: &str) {
+    let mut fast = ThreadedScheduler::new(g.clone(), r.clone()).unwrap();
+    let mut gold = ReferenceScheduler::new(g.clone(), r.clone()).unwrap();
+    for (step, &v) in order.iter().enumerate() {
+        let pf = fast.schedule(v).unwrap();
+        let pg = gold.schedule(v).unwrap();
+        assert_eq!(
+            pf, pg,
+            "[{tag}] placement diverged at step {step} ({v}): fast {pf:?} vs golden {pg:?}"
+        );
+        assert_eq!(fast.diameter(), gold.diameter(), "[{tag}] diameter at {v}");
+    }
+    for k in 0..r.k() {
+        assert_eq!(fast.chain(k), gold.chain(k), "[{tag}] chain {k}");
+    }
+    assert_eq!(
+        fast.extract_hard(),
+        gold.extract_hard(),
+        "[{tag}] extracted hard schedules diverged"
+    );
+    fast.check_invariants().unwrap();
+}
+
+fn layered(seed: u64, ops: usize, width: usize, edge_prob: f64) -> PrecedenceGraph {
+    let cfg = generate::LayeredConfig {
+        ops,
+        width,
+        edge_prob,
+        mul_ratio: 0.35,
+        delays: DelayModel::classic(),
+    };
+    generate::layered_dag(seed, &cfg)
+}
+
+#[test]
+fn golden_equivalence_on_1k_op_random_graphs() {
+    // The headline case of the acceptance criteria: ≥1000 operations,
+    // fixed seeds, several meta orders including a non-topological one.
+    let r = ResourceSet::classic(2, 2);
+    for seed in [1u64, 0xC0FFEE, 42] {
+        let g = layered(seed, 1024, 32, 0.12);
+        for meta in [
+            MetaSchedule::Topological,
+            MetaSchedule::Dfs,
+            MetaSchedule::Random(seed ^ 0x5eed),
+        ] {
+            let order = meta.order(&g, &r).unwrap();
+            assert_equivalent_run(&g, &r, &order, &format!("1k/{seed}/{}", meta.name()));
+        }
+    }
+}
+
+#[test]
+fn golden_equivalence_across_shapes_and_resource_mixes() {
+    let shapes: Vec<(PrecedenceGraph, &str)> = vec![
+        (layered(7, 96, 6, 0.4), "narrow-deep"),
+        (layered(9, 120, 40, 0.3), "wide-shallow"),
+        (
+            generate::random_dag(11, 64, 0.15, &DelayModel::classic()),
+            "unstructured",
+        ),
+        (
+            generate::expression_tree(5, &DelayModel::classic()),
+            "expression-tree",
+        ),
+        (
+            generate::independent_chains(6, 12, &DelayModel::classic()),
+            "independent-chains",
+        ),
+    ];
+    for (g, name) in shapes {
+        for (alus, muls) in [(1, 1), (2, 2), (3, 1)] {
+            let r = ResourceSet::classic(alus, muls);
+            for meta in MetaSchedule::PAPER {
+                let order = meta.order(&g, &r).unwrap();
+                assert_equivalent_run(&g, &r, &order, &format!("{name}/{alus}+{muls}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_equivalence_under_wire_delay_refinement() {
+    // Wire-delay splices grow the behavior and the thread count; both
+    // engines must track each other through refinement too.
+    let r = ResourceSet::classic(2, 1);
+    let g = layered(5, 64, 8, 0.35);
+    let order = MetaSchedule::Topological.order(&g, &r).unwrap();
+    let mut fast = ThreadedScheduler::new(g.clone(), r.clone()).unwrap();
+    let mut gold = ReferenceScheduler::new(g, r.clone()).unwrap();
+    fast.schedule_all(order.iter().copied()).unwrap();
+    gold.schedule_all(order.iter().copied()).unwrap();
+    // Splice wire delays onto a handful of existing edges.
+    let edges: Vec<(OpId, OpId)> = fast.graph().edges().take(5).collect();
+    for (i, (from, to)) in edges.into_iter().enumerate() {
+        let chain = [(OpKind::WireDelay, 1 + (i as u64 % 2), format!("wd{i}"))];
+        let a = fast.refine_splice(from, to, chain.clone()).unwrap();
+        let b = gold.refine_splice(from, to, chain).unwrap();
+        assert_eq!(a, b, "splice {i} inserted different ids");
+        assert_eq!(fast.diameter(), gold.diameter(), "diameter after splice {i}");
+        fast.check_invariants().unwrap();
+    }
+    for k in 0..r.k() {
+        assert_eq!(fast.chain(k), gold.chain(k), "chain {k} after refinement");
+    }
+    assert_eq!(fast.extract_hard(), gold.extract_hard());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Fuzzed lockstep equivalence with `check_invariants()` after every
+    /// single commit — the incremental labels, reach vectors and gap
+    /// positions must match a from-scratch recomputation at all times.
+    #[test]
+    fn fuzzed_lockstep_with_invariants_each_commit(
+        seed in 0u64..10_000,
+        ops in 8usize..72,
+        width in 2usize..12,
+        alus in 1usize..4,
+        muls in 1usize..3,
+        meta_idx in 0usize..6,
+    ) {
+        let g = layered(seed, ops, width, 0.3);
+        let r = ResourceSet::classic(alus, muls);
+        let meta = match meta_idx {
+            0 => MetaSchedule::Dfs,
+            1 => MetaSchedule::Topological,
+            2 => MetaSchedule::PathBased,
+            3 => MetaSchedule::ListBased,
+            _ => MetaSchedule::Random(seed),
+        };
+        let order = meta.order(&g, &r).unwrap();
+        let mut fast = ThreadedScheduler::new(g.clone(), r.clone()).unwrap();
+        let mut gold = ReferenceScheduler::new(g, r).unwrap();
+        for &v in &order {
+            let pf = fast.schedule(v).unwrap();
+            let pg = gold.schedule(v).unwrap();
+            prop_assert_eq!(pf, pg, "placement diverged at {}", v);
+            if let Err(e) = fast.check_invariants() {
+                return Err(TestCaseError::fail(format!("invariants after {v}: {e}")));
+            }
+        }
+        prop_assert_eq!(fast.extract_hard(), gold.extract_hard());
+    }
+}

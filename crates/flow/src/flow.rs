@@ -280,8 +280,10 @@ mod tests {
 
     #[test]
     fn register_budget_triggers_spills() {
-        let mut cfg = FlowConfig::default();
-        cfg.register_budget = Some(1);
+        let cfg = FlowConfig {
+            register_budget: Some(1),
+            ..FlowConfig::default()
+        };
         let out = run_flow_source(HAL_SRC, &cfg).unwrap();
         assert!(out.report.spills > 0, "budget 1 must force spilling");
         // The spilled design still validates and fits the budget.
@@ -290,9 +292,11 @@ mod tests {
 
     #[test]
     fn tight_wire_model_inserts_wire_delays() {
-        let mut cfg = FlowConfig::default();
-        cfg.wire_model = WireModel::new(1);
-        cfg.grid = (4, 1); // a strip stretches distances
+        let cfg = FlowConfig {
+            wire_model: WireModel::new(1),
+            grid: (4, 1), // a strip stretches distances
+            ..FlowConfig::default()
+        };
         let out = run_flow(bench_graphs::ewf(), &cfg).unwrap();
         assert!(out.report.wire_delays > 0);
         assert!(out.report.final_states >= out.report.initial_states);
@@ -323,8 +327,10 @@ mod tests {
 
     #[test]
     fn missing_units_propagate_as_sched_errors() {
-        let mut cfg = FlowConfig::default();
-        cfg.resources = ResourceSet::classic(2, 0); // no multiplier
+        let cfg = FlowConfig {
+            resources: ResourceSet::classic(2, 0), // no multiplier
+            ..FlowConfig::default()
+        };
         let err = run_flow(bench_graphs::hal(), &cfg).unwrap_err();
         assert!(matches!(err, FlowError::Sched(_)));
     }

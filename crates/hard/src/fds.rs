@@ -221,10 +221,10 @@ fn best_placement(
     Ok(best.map(|(_, v, s)| (v, s)))
 }
 
-fn class_dg<'a>(
-    dgs: &'a [(ResourceClass, Vec<f64>)],
+fn class_dg(
+    dgs: &[(ResourceClass, Vec<f64>)],
     class: ResourceClass,
-) -> &'a [f64] {
+) -> &[f64] {
     &dgs.iter().find(|(c, _)| *c == class).expect("class present").1
 }
 

@@ -105,6 +105,66 @@ impl BitMatrix {
         })
     }
 
+    /// The raw 64-bit words of `row` — the fast path for word-parallel
+    /// consumers (closure maintenance, masked intersections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.n, "row {row} out of range");
+        let w = self.words_per_row;
+        &self.bits[row * w..(row + 1) * w]
+    }
+
+    /// `true` if `row` intersects the bitset `mask` (same column layout:
+    /// bit `c` of `mask[c / 64]`). Extra words on either side are
+    /// ignored. Word-parallel with early exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_intersects(&self, row: usize, mask: &[u64]) -> bool {
+        self.row_words(row)
+            .iter()
+            .zip(mask.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// The word-parallel transpose: returns the matrix with bit
+    /// `(i, j)` set iff `(j, i)` is set in `self`.
+    ///
+    /// Works on 64×64 tiles with the recursive mask-swap kernel, so a
+    /// full transpose costs `O((n/64)² · 64·log 64)` word operations —
+    /// ~64× less work than bit-by-bit copying. This is what turns a
+    /// descendant closure into an ancestor closure in
+    /// `threaded-sched`'s `closures()`.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::new(self.n);
+        let w = self.words_per_row;
+        let mut tile = [0u64; 64];
+        for bi in 0..w {
+            let row_base = bi * 64;
+            for bj in 0..w {
+                // Gather tile: rows row_base.., word bj.
+                for (t, slot) in tile.iter_mut().enumerate() {
+                    let r = row_base + t;
+                    *slot = if r < self.n { self.bits[r * w + bj] } else { 0 };
+                }
+                transpose64(&mut tile);
+                // Scatter: rows bj*64.., word bi.
+                let out_base = bj * 64;
+                for (t, &word) in tile.iter().enumerate() {
+                    let r = out_base + t;
+                    if r < self.n && word != 0 {
+                        out.bits[r * w + bi] = word;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Grows the matrix to `new_n × new_n`, preserving existing bits.
     pub fn grow(&mut self, new_n: usize) {
         if new_n <= self.n {
@@ -122,6 +182,26 @@ impl BitMatrix {
                 .copy_from_slice(src);
         }
         *self = next;
+    }
+}
+
+/// In-place transpose of a 64×64 bit tile stored as 64 row words —
+/// the classic recursive block-swap (Hacker's Delight §7-3).
+fn transpose64(a: &mut [u64; 64]) {
+    // Columns are LSB-first in `BitMatrix`, so the swap pairs element
+    // (k, c + j) with (k + j, c) — the mirror of the MSB-first variant.
+    let mut j = 32;
+    let mut mask = 0x0000_0000_ffff_ffffu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & mask;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
     }
 }
 
@@ -187,6 +267,71 @@ mod tests {
         let cols: Vec<usize> = m.iter_row(9).collect();
         assert_eq!(cols, vec![0, 3, 64, 65, 149]);
         assert_eq!(m.row_count(9), 5);
+    }
+
+    #[test]
+    fn transpose_mirrors_every_bit() {
+        // Cross word boundaries and the ragged final block.
+        let mut m = BitMatrix::new(150);
+        let coords = [(0, 0), (0, 149), (149, 0), (63, 64), (64, 63), (7, 130), (100, 100)];
+        for &(r, c) in &coords {
+            m.set(r, c);
+        }
+        let t = m.transpose();
+        assert_eq!(t.len(), m.len());
+        for r in 0..150 {
+            for c in 0..150 {
+                assert_eq!(t.get(c, r), m.get(r, c), "({r},{c})");
+            }
+        }
+        // Involution.
+        assert!(t.transpose() == m);
+    }
+
+    #[test]
+    fn transpose_matches_naive_on_dense_pattern() {
+        let n = 130;
+        let mut m = BitMatrix::new(n);
+        for r in 0..n {
+            for c in 0..n {
+                if (r * 31 + c * 17) % 5 == 0 {
+                    m.set(r, c);
+                }
+            }
+        }
+        let fast = m.transpose();
+        let mut naive = BitMatrix::new(n);
+        for r in 0..n {
+            for c in m.iter_row(r) {
+                naive.set(c, r);
+            }
+        }
+        assert!(fast == naive);
+    }
+
+    #[test]
+    fn row_words_expose_raw_layout() {
+        let mut m = BitMatrix::new(100);
+        m.set(3, 0);
+        m.set(3, 64);
+        let words = m.row_words(3);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], 1);
+        assert_eq!(words[1], 1);
+    }
+
+    #[test]
+    fn row_intersects_is_word_parallel_and_tolerant_of_short_masks() {
+        let mut m = BitMatrix::new(200);
+        m.set(5, 190);
+        m.set(5, 2);
+        let mut mask = vec![0u64; 4];
+        assert!(!m.row_intersects(5, &mask));
+        mask[2] = 1u64 << (190 - 128);
+        assert!(m.row_intersects(5, &mask));
+        // A mask shorter than the row only covers its own words.
+        assert!(!m.row_intersects(5, &[0u64]));
+        assert!(m.row_intersects(5, &[1u64 << 2]));
     }
 
     #[test]

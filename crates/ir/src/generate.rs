@@ -132,7 +132,7 @@ pub fn expression_tree(depth: u32, delays: &DelayModel) -> PrecedenceGraph {
         } else {
             let l = build(g, depth - 1, delays, counter);
             let r = build(g, depth - 1, delays, counter);
-            let kind = if depth % 2 == 0 { OpKind::Add } else { OpKind::Sub };
+            let kind = if depth.is_multiple_of(2) { OpKind::Add } else { OpKind::Sub };
             let v = g.add_op(kind, delays.delay_of(kind), label);
             g.add_edge(l, v).expect("tree edges are acyclic");
             g.add_edge(r, v).expect("tree edges are acyclic");

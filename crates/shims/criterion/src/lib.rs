@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness behind the `criterion_group!` /
+//! `criterion_main!` API: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints the median ns/iter. No
+//! statistics beyond the median, no plots, no CLI filtering — just
+//! enough for `cargo bench` to run and produce comparable numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with the real crate.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    testing: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the bench binary is invoked with `--test`;
+        // run each closure once so the benches stay smoke-tested.
+        let testing = std::env::args().any(|a| a == "--test");
+        Criterion { testing }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            testing: self.testing,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A hierarchical benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("threaded", 512)` → `threaded/512`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Throughput annotation; recorded but only echoed in the report.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    testing: bool,
+    // Tie the group's lifetime to the Criterion borrow like the real API.
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+// Separate impl block so the struct literal in `benchmark_group` can
+// omit the marker via this constructor-free pattern.
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            testing: self.testing,
+            warm_up: self.warm_up,
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        if !self.testing {
+            println!("{}/{}  median {:.0} ns/iter", self.name, id.id, b.median_ns);
+        }
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b));
+    }
+
+    /// Ends the group (report flushing in the real crate; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Times a closure; handed to the benchmark body.
+pub struct Bencher {
+    testing: bool,
+    warm_up: Duration,
+    sample_size: usize,
+    measurement: Duration,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.testing {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Each sample runs enough iterations to fill its time slice.
+        let slice_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (slice_ns / per_iter.max(1.0)).ceil().max(1.0) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Declares a group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(3));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &42u64, |b, &x| {
+            b.iter(|| black_box(x + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! header, integer-range strategies, [`collection::vec`],
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` and
+//! `prop_assume!`. Inputs are sampled uniformly (deterministically per
+//! test name); there is no shrinking — a failing case prints its inputs
+//! instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Test-runner configuration (`cases` is the only knob used in-repo).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; resample and retry.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A value generator: the subset of proptest's `Strategy` the macro
+/// needs (pure sampling, no value trees / shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 1..4)`: a vector of 1–3 sampled elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Deterministic per-test seed from the test's module path and name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// Alias of the crate root so `prop::collection::vec(..)` resolves,
+    /// as with the real crate's `proptest::prelude::*`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::new_rng(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(64).max(1024),
+                        "proptest: too many prop_assume! rejections in {}",
+                        stringify!($name),
+                    );
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed: {}\n  inputs: {}",
+                                stringify!($name), msg, inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r,
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+), l,
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: reject the case (resample) when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(
+            a in 0u64..100,
+            b in 5usize..10,
+            c in -50i64..50,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((5..10).contains(&b));
+            prop_assert!((-50..50).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(
+            picks in prop::collection::vec(0usize..64, 1..4),
+        ) {
+            prop_assert!((1..4).contains(&picks.len()));
+            for p in &picks {
+                prop_assert!(*p < 64);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1, "evens only after assume");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x is never that big");
+            }
+        }
+        always_fails();
+    }
+}

@@ -26,11 +26,13 @@ const SOURCE: &str = "
 ";
 
 fn main() {
-    let mut config = FlowConfig::default();
-    config.resources = ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1);
-    config.register_budget = Some(4); // tight: forces spill decisions
-    config.wire_model = WireModel::new(2);
-    config.grid = (3, 2);
+    let config = FlowConfig {
+        resources: ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1),
+        register_budget: Some(4), // tight: forces spill decisions
+        wire_model: WireModel::new(2),
+        grid: (3, 2),
+        ..FlowConfig::default()
+    };
 
     let outcome = match run_flow_source(SOURCE, &config) {
         Ok(o) => o,

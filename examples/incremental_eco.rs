@@ -24,7 +24,8 @@ fn main() -> Result<(), SchedError> {
 
     // A stream of late engineering changes.
     let edges: Vec<_> = ts.graph().edges().take(40).collect();
-    let changes: Vec<(&str, Box<dyn Fn(&mut ThreadedScheduler) -> Result<(), SchedError>>)> = vec![
+    type Change = Box<dyn Fn(&mut ThreadedScheduler) -> Result<(), SchedError>>;
+    let changes: Vec<(&str, Change)> = vec![
         (
             "spill a hot value",
             Box::new({

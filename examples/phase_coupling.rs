@@ -24,9 +24,7 @@ fn build_fig1e() -> Result<(ThreadedScheduler, [soft_hls::ir::OpId; 7]), SchedEr
     ] {
         let p = ts
             .feasible_placements(op)?
-            .into_iter()
-            .filter(|p| p.thread == thread)
-            .next_back()
+            .into_iter().rfind(|p| p.thread == thread)
             .expect("thread tail is always feasible");
         ts.commit(p, op);
     }

@@ -51,11 +51,13 @@ fn compiled_source_matches_the_handcrafted_hal_graph() {
 
 #[test]
 fn full_flow_outputs_are_mutually_consistent() {
-    let mut cfg = FlowConfig::default();
-    cfg.resources = ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1);
-    cfg.register_budget = Some(3);
-    cfg.wire_model = WireModel::new(1);
-    cfg.grid = (5, 1);
+    let cfg = FlowConfig {
+        resources: ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1),
+        register_budget: Some(3),
+        wire_model: WireModel::new(1),
+        grid: (5, 1),
+        ..FlowConfig::default()
+    };
     let out = run_flow_source(DIFFEQ, &cfg).unwrap();
 
     // Schedule validates against the final behavior and resource set.
@@ -80,9 +82,11 @@ fn full_flow_outputs_are_mutually_consistent() {
 #[test]
 fn flow_handles_every_benchmark_graph() {
     for (name, g) in bench_graphs::all() {
-        let mut cfg = FlowConfig::default();
-        cfg.resources = ResourceSet::classic(2, 1).with(ResourceClass::MemPort, 1);
-        cfg.register_budget = Some(6);
+        let cfg = FlowConfig {
+            resources: ResourceSet::classic(2, 1).with(ResourceClass::MemPort, 1),
+            register_budget: Some(6),
+            ..FlowConfig::default()
+        };
         let out = run_flow(g, &cfg).unwrap();
         assert!(
             out.report.final_states >= out.report.initial_states,
@@ -98,8 +102,10 @@ fn spills_reduce_register_pressure() {
     // pressure must come down relative to no-budget.
     let base_cfg = FlowConfig::default();
     let free = run_flow(bench_graphs::ewf(), &base_cfg).unwrap();
-    let mut tight_cfg = FlowConfig::default();
-    tight_cfg.register_budget = Some(free.report.registers.saturating_sub(2).max(1));
+    let tight_cfg = FlowConfig {
+        register_budget: Some(free.report.registers.saturating_sub(2).max(1)),
+        ..FlowConfig::default()
+    };
     let tight = run_flow(bench_graphs::ewf(), &tight_cfg).unwrap();
     assert!(tight.report.spills > 0, "budget must force spills");
     assert!(
