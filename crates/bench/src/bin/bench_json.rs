@@ -1,37 +1,64 @@
-//! Machine-readable perf trajectory for the scheduler hot path.
+//! Machine-readable perf + memory trajectory for the scheduler hot path.
 //!
-//! Runs the Theorem 3 scaling study (`hls_bench::complexity`) and emits
-//! `BENCH_1.json`: per-size `schedule_all` wall times for the optimized
-//! scheduler and the frozen pre-refactor seed, the measured speedup at
-//! `|V| = 5000`, and the fitted scaling exponent of the optimized
-//! engine. Future PRs append `BENCH_<n>.json` files to track the
-//! trajectory; `EXPERIMENTS.md` records the interpretation.
+//! Runs the Theorem 3 scaling study (`hls_bench::complexity`) with the
+//! byte-counting allocator installed and emits `BENCH_2.json`: per-size
+//! `schedule_all` wall times for the optimized scheduler and the frozen
+//! pre-refactor seed, per-size peak heap growth of the optimized engine
+//! (the chain-cover reachability index replaces the seed's two dense
+//! `Θ(|V|²)`-bit closures, so memory must scale sub-quadratically), the
+//! fitted wall-time exponent, and the headline speedup. Earlier
+//! trajectory points live in `BENCH_1.json`; `EXPERIMENTS.md` records
+//! the interpretation.
 //!
-//! Usage: `bench_json [--quick] [OUTPUT_PATH]` — `--quick` shrinks the
-//! sweep for CI smoke runs (the JSON then carries `"quick": true` so it
-//! is never mistaken for a trajectory point).
+//! Usage: `bench_json [--quick] [--sizes N,N,..] [OUTPUT_PATH]`
+//! — `--quick` shrinks the sweep for CI smoke runs (the JSON then
+//! carries `"quick": true` so it is never mistaken for a trajectory
+//! point); `--sizes` overrides the sweep points (used by the large-V CI
+//! smoke job).
 
 use hls_bench::complexity::{fit_exponent, report_scaling, scaling_sweep};
+use hls_bench::mem::CountingAlloc;
 use std::fmt::Write as _;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The seed is ~100–2000× slower than the optimized engine across this
+/// range; above the cutoff only the optimized engine is timed.
+const REFERENCE_CUTOFF: usize = 5000;
 
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_1.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut out_path = "BENCH_2.json".to_string();
+    let mut sizes: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--quick" {
             quick = true;
+        } else if arg == "--sizes" {
+            let list = args.next().expect("--sizes takes a comma-separated list");
+            sizes = Some(
+                list.split(',')
+                    .map(|s| s.trim().parse().expect("--sizes entries must be integers"))
+                    .collect(),
+            );
         } else {
             out_path = arg;
         }
     }
 
-    let (sizes, cutoff): (&[usize], usize) = if quick {
-        (&[500, 1000, 2000], 1000)
-    } else {
-        (&[500, 1000, 2000, 5000, 10000, 20000], 5000)
+    let sizes: Vec<usize> = match (sizes, quick) {
+        (Some(s), _) => s,
+        (None, true) => vec![500, 1000, 2000],
+        (None, false) => vec![500, 1000, 2000, 5000, 10000, 20000, 50000, 100000],
     };
+    let cutoff = if quick { 1000 } else { REFERENCE_CUTOFF };
 
-    let points = scaling_sweep(sizes, cutoff);
+    // Warm the process (code paging, allocator arenas) so the first
+    // measured point is not inflated relative to the rest of the fit.
+    let _ = scaling_sweep(&[256], 0);
+
+    let points = scaling_sweep(&sizes, cutoff);
     print!("{}", report_scaling(&points));
 
     let opt: Vec<(usize, u128)> = points.iter().map(|p| (p.ops, p.opt_us)).collect();
@@ -43,18 +70,28 @@ fn main() {
             .and_then(|p| p.ref_us.map(|r| r as f64 / p.opt_us.max(1) as f64))
     };
     let headline = speedup_at(if quick { 1000 } else { 5000 });
+    let max_point = points.iter().max_by_key(|p| p.ops);
     println!("fitted scaling exponent (optimized): {slope:.3}");
     if let Some(s) = headline {
         println!("speedup vs pre-refactor seed at the headline size: {s:.1}x");
     }
+    if let Some(p) = max_point {
+        let dense_mb = (p.ops as f64 * p.ops as f64 * 2.0 / 8.0) / (1024.0 * 1024.0);
+        println!(
+            "peak heap growth at |V|={}: {:.1} MB (dense closure pair alone would need {:.0} MB)",
+            p.ops,
+            p.peak_bytes as f64 / (1024.0 * 1024.0),
+            dense_mb,
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_1\",");
-    let _ = writeln!(json, "  \"pr\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_2\",");
+    let _ = writeln!(json, "  \"pr\": 2,");
     let _ = writeln!(
         json,
-        "  \"subject\": \"schedule_all wall time, optimized ThreadedScheduler vs frozen seed (ReferenceScheduler)\","
+        "  \"subject\": \"schedule_all wall time + peak heap growth; chain-cover reachability index vs the dense closures (and the frozen seed)\","
     );
     let _ = writeln!(
         json,
@@ -76,8 +113,8 @@ fn main() {
         let comma = if i + 1 == points.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"ops\": {}, \"edges\": {}, \"optimized_us\": {}, \"reference_us\": {}, \"diameter\": {}}}{comma}",
-            p.ops, p.edges, p.opt_us, refs, p.diameter
+            "    {{\"ops\": {}, \"edges\": {}, \"optimized_us\": {}, \"reference_us\": {}, \"diameter\": {}, \"peak_alloc_bytes\": {}}}{comma}",
+            p.ops, p.edges, p.opt_us, refs, p.diameter, p.peak_bytes
         );
     }
     json.push_str("  ]\n}\n");

@@ -130,6 +130,10 @@ pub struct ScalePoint {
     pub ref_us: Option<u128>,
     /// Final state diameter (checked equal between both engines).
     pub diameter: u64,
+    /// Peak heap growth (bytes) while constructing and running the
+    /// optimized scheduler — the memory-scaling column. 0 unless the
+    /// process installed [`crate::mem::CountingAlloc`].
+    pub peak_bytes: u64,
 }
 
 /// The sweep workload: a layered DFG with *bounded mean in-degree*
@@ -167,11 +171,17 @@ pub fn scaling_sweep(sizes: &[usize], reference_cutoff: usize) -> Vec<ScalePoint
                 .order(&g, &resources)
                 .expect("generated graph is a DAG");
 
+            // Peak heap growth of the optimized engine alone: baseline
+            // after the workload exists, peak over construction (graph
+            // copy + reachability index) and the full schedule.
+            let mem_base = crate::mem::current_bytes();
+            crate::mem::reset_peak();
             let mut ts = ThreadedScheduler::new(g.clone(), resources.clone())
                 .expect("generated graph is valid");
             let t0 = Instant::now();
             ts.schedule_all(order.iter().copied()).expect("schedulable");
             let opt_us = t0.elapsed().as_micros();
+            let peak_bytes = crate::mem::peak_bytes().saturating_sub(mem_base);
             let diameter = ts.diameter();
 
             let ref_us = (n <= reference_cutoff).then(|| {
@@ -190,6 +200,7 @@ pub fn scaling_sweep(sizes: &[usize], reference_cutoff: usize) -> Vec<ScalePoint
                 opt_us,
                 ref_us,
                 diameter,
+                peak_bytes,
             }
         })
         .collect()
@@ -223,6 +234,7 @@ pub fn report_scaling(points: &[ScalePoint]) -> String {
         "seed (us)".to_string(),
         "speedup".to_string(),
         "diameter".to_string(),
+        "peak MB".to_string(),
     ];
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -236,6 +248,11 @@ pub fn report_scaling(points: &[ScalePoint]) -> String {
                     format!("{:.1}x", v as f64 / p.opt_us.max(1) as f64)
                 }),
                 p.diameter.to_string(),
+                if p.peak_bytes == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", p.peak_bytes as f64 / (1024.0 * 1024.0))
+                },
             ]
         })
         .collect();

@@ -10,7 +10,9 @@
 //! * [`coupling`] — the phase-coupling ablation (spill / wire-delay
 //!   absorption: soft refinement vs hard patching vs rescheduling);
 //! * [`meta_ablation`] — sensitivity of the online-optimal scheduler to
-//!   the meta order.
+//!   the meta order;
+//! * [`mem`] — the byte-counting global allocator behind the memory
+//!   column of the scaling study.
 //!
 //! The binaries under `src/bin/` print the results; `EXPERIMENTS.md`
 //! records them against the paper.
@@ -20,6 +22,7 @@ pub mod coupling;
 pub mod delay_sweep;
 pub mod fig1;
 pub mod fig3;
+pub mod mem;
 pub mod meta_ablation;
 
 /// Renders a plain-text table: header row plus aligned data rows.

@@ -639,15 +639,12 @@ enum Direction {
     Forward,
 }
 
-/// Seed `closures()`: builds the ancestor matrix with bit-by-bit `set`
-/// calls (the optimized path uses `BitMatrix::transpose`).
+/// Closure construction is the one shared (frozen-behavior-neutral)
+/// piece: it delegates to the canonical word-parallel
+/// [`hls_ir::algo::closures`], which produces bit-identical matrices to
+/// the seed's bit-by-bit ancestor build. Construction is excluded from
+/// every timed comparison, so the frozen *scheduling* behavior above is
+/// untouched.
 fn closures(g: &PrecedenceGraph) -> (BitMatrix, BitMatrix) {
-    let desc = algo::transitive_closure(g);
-    let mut anc = BitMatrix::new(g.len());
-    for v in g.op_ids() {
-        for d in desc.iter_row(v.index()) {
-            anc.set(d, v.index());
-        }
-    }
-    (anc, desc)
+    algo::closures(g)
 }

@@ -33,9 +33,15 @@
 //!   state-ancestor and earliest per-thread state-descendant — so
 //!   `select` computes its feasible windows from the scheduled frontier
 //!   in `O(K²)` instead of marking the whole state;
-//! * `sync_graph_growth` grows the ancestor/descendant closures
-//!   incrementally for the spliced vertices instead of recomputing the
-//!   full transitive closure.
+//! * behavior-graph reachability is a chain-cover index
+//!   ([`hls_ir::ReachIndex`], `O(|V| · #chains)` memory) instead of the
+//!   dense `Θ(|V|²)`-bit ancestor/descendant closure matrices the seed
+//!   carries; the frontier walk's "any scheduled ancestor/descendant"
+//!   pruning probes compare the per-op chain vectors against per-chain
+//!   scheduled-position extrema in `O(#chains)` (see `DESIGN.md` §5);
+//! * `sync_graph_growth` repairs that index locally for the spliced
+//!   vertices instead of recomputing (or widening) a full transitive
+//!   closure.
 //!
 //! The golden-equivalence suite (`tests/golden_equivalence.rs`) pins the
 //! observable behavior — placement sequences and extracted schedules —
@@ -43,13 +49,22 @@
 
 use crate::{SchedError, soft::StateSnapshot};
 use hls_ir::{
-    algo, BitMatrix, HardSchedule, OpId, OpKind, PrecedenceGraph, ResourceClass, ResourceSet,
+    HardSchedule, OpId, OpKind, PrecedenceGraph, ReachIndex, ResourceClass, ResourceSet,
 };
 use std::cell::RefCell;
 
 /// Missing-edge / missing-node sentinel in the flat edge and reach
 /// tables.
 const NONE: u32 = u32::MAX;
+
+/// "Chain holds no scheduled op" sentinel for `chain_sched_min`. Like
+/// [`hls_ir::reach::NO_DOWN`] it must compare above every chain
+/// position, so the two are aliased: if `reach` ever changes its
+/// position encoding, the probes follow.
+const NO_MIN: hls_ir::reach::Pos = hls_ir::reach::NO_DOWN;
+/// The `chain_sched_max` mirror: compares below every `down` entry
+/// (positions are 1-based), aliasing [`hls_ir::reach::NO_UP`].
+const NO_MAX: hls_ir::reach::Pos = hls_ir::reach::NO_UP;
 
 /// `(sdist, tdist, reach_b, reach_f)` of a from-scratch recomputation.
 type FullLabels = (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>);
@@ -123,13 +138,18 @@ struct TdistLazy {
 #[derive(Clone, Debug)]
 pub struct ThreadedScheduler {
     g: PrecedenceGraph,
-    /// Strict ancestors per op (row `v` = `{p : p ≺_G v}`), grown
-    /// incrementally under refinement.
-    anc: BitMatrix,
-    /// Strict descendants per op.
-    desc: BitMatrix,
-    /// Bitset over ops: bit `v` set iff `v` is scheduled.
-    sched_mask: Vec<u64>,
+    /// Chain-cover reachability index over the behavior graph —
+    /// `O(|V| · #chains)` memory instead of the seed's two dense
+    /// `Θ(|V|²)`-bit closure matrices — repaired locally under
+    /// refinement.
+    reach: ReachIndex,
+    /// Per chain of `reach`: the minimum scheduled position
+    /// ([`NO_MIN`] when the chain holds no scheduled op). Any op whose
+    /// `up` entry reaches this far has a scheduled ancestor.
+    chain_sched_min: Vec<hls_ir::reach::Pos>,
+    /// Per chain: the maximum scheduled position ([`NO_MAX`] when
+    /// none) — the mirror for scheduled descendants.
+    chain_sched_max: Vec<hls_ir::reach::Pos>,
     resources: ResourceSet,
     // ---- structure-of-arrays node storage ----
     /// Per node: its thread.
@@ -182,14 +202,15 @@ impl ThreadedScheduler {
     /// Returns [`SchedError::Ir`] if `g` is cyclic.
     pub fn new(g: PrecedenceGraph, resources: ResourceSet) -> Result<Self, SchedError> {
         g.validate()?;
-        let (anc, desc) = closures(&g);
+        let reach = ReachIndex::build(&g);
+        let chains = reach.chain_count();
         let k = resources.k();
         let mut ts = ThreadedScheduler {
             node_of: vec![None; g.len()],
-            sched_mask: vec![0; g.len().div_ceil(64)],
             g,
-            anc,
-            desc,
+            reach,
+            chain_sched_min: vec![NO_MIN; chains],
+            chain_sched_max: vec![NO_MAX; chains],
             resources,
             n_thread: Vec::with_capacity(2 * k),
             n_pos: Vec::new(),
@@ -431,7 +452,10 @@ impl ThreadedScheduler {
 
         self.node_of[v.index()] = Some(n);
         self.op_of[n as usize] = Some(v);
-        self.sched_mask[v.index() / 64] |= 1u64 << (v.index() % 64);
+        let c = self.reach.chain_of(v.index());
+        let p = self.reach.pos_of(v.index());
+        self.chain_sched_min[c] = self.chain_sched_min[c].min(p);
+        self.chain_sched_max[c] = self.chain_sched_max[c].max(p);
 
         // Figure 2 rules for the scheduled frontier (dominated ancestors
         // and descendants are already ordered through it — DESIGN.md §4).
@@ -672,9 +696,11 @@ impl ThreadedScheduler {
 
     /// Verifies the internal invariants of the state: pointer symmetry,
     /// chain integrity, strictly increasing gap positions, the Lemma 7
-    /// degree bound, acyclicity, label freshness and reach-vector
+    /// degree bound, acyclicity, label freshness, reach-vector
     /// freshness (the incremental engine against a from-scratch
-    /// recomputation).
+    /// recomputation), and exact agreement of the chain-cover
+    /// reachability index and its per-chain scheduled extrema with the
+    /// dense-closure oracle.
     ///
     /// # Errors
     ///
@@ -745,11 +771,29 @@ impl ThreadedScheduler {
                 ));
             }
         }
+        // The chain-cover index must agree exactly with the dense
+        // closure oracle, and the per-chain scheduled extrema with the
+        // actual scheduled set.
+        self.reach
+            .check(&self.g)
+            .map_err(|e| format!("reach index: {e}"))?;
+        if self.chain_sched_min.len() != self.reach.chain_count()
+            || self.chain_sched_max.len() != self.reach.chain_count()
+        {
+            return Err("chain_sched arrays disagree with chain count".to_string());
+        }
+        let mut want_min = vec![NO_MIN; self.reach.chain_count()];
+        let mut want_max = vec![NO_MAX; self.reach.chain_count()];
         for v in self.g.op_ids() {
-            let bit = self.sched_mask[v.index() / 64] >> (v.index() % 64) & 1 == 1;
-            if bit != self.node_of[v.index()].is_some() {
-                return Err(format!("{v}: sched_mask disagrees with node_of"));
+            if self.node_of[v.index()].is_some() {
+                let c = self.reach.chain_of(v.index());
+                let p = self.reach.pos_of(v.index());
+                want_min[c] = want_min[c].min(p);
+                want_max[c] = want_max[c].max(p);
             }
+        }
+        if want_min != self.chain_sched_min || want_max != self.chain_sched_max {
+            return Err("stale per-chain scheduled extrema".to_string());
         }
         // Acyclicity + freshness of the incrementally maintained labels
         // and reach vectors, against a from-scratch recomputation.
@@ -988,13 +1032,36 @@ impl ThreadedScheduler {
         }
     }
 
+    /// `true` iff op `x` has a scheduled strict ancestor: some chain
+    /// holds a scheduled op at or before the highest position that
+    /// reaches `x`. `O(#chains)`, branchless — this replaces the seed's
+    /// `Θ(|V|/64)` closure-row ∩ scheduled-mask probe.
+    fn has_scheduled_ancestor(&self, x: usize) -> bool {
+        self.reach
+            .up_row(x)
+            .iter()
+            .zip(&self.chain_sched_min)
+            .any(|(&u, &m)| m <= u)
+    }
+
+    /// `true` iff op `x` has a scheduled strict descendant — the mirror
+    /// of [`Self::has_scheduled_ancestor`] against the per-chain
+    /// scheduled maxima.
+    fn has_scheduled_descendant(&self, x: usize) -> bool {
+        self.reach
+            .down_row(x)
+            .iter()
+            .zip(&self.chain_sched_max)
+            .any(|(&d, &m)| m >= d)
+    }
+
     /// Walks the *scheduled frontier* of `v`: the first scheduled
     /// operation along every predecessor (resp. successor) path of the
     /// behavior graph. Every other scheduled ancestor/descendant is
     /// ordered through a frontier member (correctness condition), so the
     /// frontier alone determines the feasible windows and intrinsic
     /// distances. The walk descends through unscheduled ops only, pruned
-    /// by word-parallel closure∩scheduled checks.
+    /// by `O(#chains)` chain-cover reachability probes.
     fn collect_frontiers(&self, v: OpId, sc: &mut Scratch) {
         let e = sc.epoch;
         sc.preds_f.clear();
@@ -1011,7 +1078,7 @@ impl ThreadedScheduler {
             sc.op_seen[xi] = e;
             if let Some(n) = self.node_of[xi] {
                 sc.preds_f.push(n);
-            } else if self.anc.row_intersects(xi, &self.sched_mask) {
+            } else if self.has_scheduled_ancestor(xi) {
                 for &p in self.g.preds(OpId::from_index(xi)) {
                     sc.stack.push(p.index() as u32);
                 }
@@ -1019,7 +1086,7 @@ impl ThreadedScheduler {
         }
         // An op's ancestors and descendants are disjoint (DAG), so the
         // epoch marks are shared between the two walks.
-        if self.desc.row_intersects(v.index(), &self.sched_mask) {
+        if self.has_scheduled_descendant(v.index()) {
             sc.stack.clear();
             for &q in self.g.succs(v) {
                 sc.stack.push(q.index() as u32);
@@ -1032,7 +1099,7 @@ impl ThreadedScheduler {
                 sc.op_seen[xi] = e;
                 if let Some(n) = self.node_of[xi] {
                     sc.succs_f.push(n);
-                } else if self.desc.row_intersects(xi, &self.sched_mask) {
+                } else if self.has_scheduled_descendant(xi) {
                     for &q in self.g.succs(OpId::from_index(xi)) {
                         sc.stack.push(q.index() as u32);
                     }
@@ -1457,65 +1524,22 @@ impl ThreadedScheduler {
     }
 
     /// Absorbs behavior-graph growth (splices, ECO ops) into the
-    /// scheduler: resizes the op-indexed tables and grows the
-    /// ancestor/descendant closures *incrementally* — new rows are
-    /// unions over direct neighbours, and only the rows of actual
-    /// ancestors/descendants of the new ops are widened (word-parallel),
-    /// instead of recomputing the full `O(|V|³/64)` transitive closure.
+    /// scheduler: resizes the op-indexed tables and repairs the
+    /// chain-cover reachability index *locally* — the new ops are
+    /// covered by fresh chains and a min/max relaxation walks only the
+    /// affected cone ([`ReachIndex::grow`]), replacing the seed's
+    /// per-row dense-closure surgery.
     fn sync_graph_growth(&mut self) {
         let old = self.node_of.len();
         let new = self.g.len();
         self.node_of.resize(new, None);
-        self.sched_mask.resize(new.div_ceil(64), 0);
         if new == old {
             return;
         }
-        self.anc.grow(new);
-        self.desc.grow(new);
-        // The mutation API only creates edges from lower-index ops into
-        // a new op (splice chains run forward), so one increasing pass
-        // finalises ancestor rows and one decreasing pass descendant
-        // rows.
-        for w in old..new {
-            let wi = OpId::from_index(w);
-            for &p in self.g.preds(wi) {
-                debug_assert!(p.index() < w, "new-op edges must run forward");
-                self.anc.or_row_into(p.index(), w);
-                self.anc.set(w, p.index());
-            }
-        }
-        for w in (old..new).rev() {
-            let wi = OpId::from_index(w);
-            for &q in self.g.succs(wi) {
-                debug_assert!(q.index() < old || q.index() > w);
-                self.desc.or_row_into(q.index(), w);
-                self.desc.set(w, q.index());
-            }
-        }
-        // Existing ancestors learn the new descendants and vice versa.
-        for w in old..new {
-            let ancs: Vec<usize> = self.anc.iter_row(w).collect();
-            for x in ancs {
-                self.desc.or_row_into(w, x);
-                self.desc.set(x, w);
-            }
-            let descs: Vec<usize> = self.desc.iter_row(w).collect();
-            for y in descs {
-                self.anc.or_row_into(w, y);
-                self.anc.set(y, w);
-            }
-        }
+        self.reach.grow(&self.g);
+        self.chain_sched_min.resize(self.reach.chain_count(), NO_MIN);
+        self.chain_sched_max.resize(self.reach.chain_count(), NO_MAX);
     }
-}
-
-/// Both strict closures of `g`: descendants via one topological sweep of
-/// word-parallel row unions, ancestors as its word-parallel
-/// [`BitMatrix::transpose`] (the seed built the ancestor matrix with
-/// bit-by-bit `set` calls).
-fn closures(g: &PrecedenceGraph) -> (BitMatrix, BitMatrix) {
-    let desc = algo::transitive_closure(g);
-    let anc = desc.transpose();
-    (anc, desc)
 }
 
 #[cfg(test)]

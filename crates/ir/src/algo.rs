@@ -191,6 +191,27 @@ pub fn transitive_closure(g: &PrecedenceGraph) -> BitMatrix {
     m
 }
 
+/// Both strict closures of `g` — `(ancestors, descendants)`, where row
+/// `v` of the ancestor matrix is `{p : p ≺_G v}` and row `v` of the
+/// descendant matrix is `{d : v ≺_G d}`.
+///
+/// The descendant matrix is one topological sweep of word-parallel row
+/// unions ([`transitive_closure`]); the ancestor matrix is its
+/// word-parallel [`BitMatrix::transpose`]. This is the single dense
+/// closure constructor shared by every scheduler and oracle in the
+/// workspace; the schedulers' hot paths use the sub-quadratic
+/// [`crate::reach::ReachIndex`] instead and keep this as the small-`V`
+/// verification oracle.
+///
+/// # Panics
+///
+/// Panics if `g` is cyclic.
+pub fn closures(g: &PrecedenceGraph) -> (BitMatrix, BitMatrix) {
+    let desc = transitive_closure(g);
+    let anc = desc.transpose();
+    (anc, desc)
+}
+
 /// Partitions the vertices of `g` into vertex-disjoint paths, greedily
 /// extracting a longest (delay-weighted) remaining path each round.
 ///

@@ -9,7 +9,8 @@
 //! * the classical HLS delay model ([`DelayModel`]),
 //! * graph algorithms used throughout the scheduler stack — topological
 //!   orders, source/sink distances, diameter, critical paths, longest-path
-//!   partitions, transitive closure ([`algo`], [`BitMatrix`]),
+//!   partitions, transitive closure ([`algo`], [`BitMatrix`]) and the
+//!   sub-quadratic chain-cover reachability index ([`reach`]),
 //! * the four benchmark data-flow graphs evaluated in the paper
 //!   ([`bench_graphs`]: HAL, AR, EF/elliptic, FIR) plus the Figure 1
 //!   motivating example,
@@ -38,6 +39,7 @@ pub mod dot;
 pub mod generate;
 mod graph;
 mod op;
+pub mod reach;
 mod resources;
 pub mod schedule;
 pub mod sim_operands;
@@ -45,6 +47,7 @@ pub mod textfmt;
 
 pub use bitmatrix::BitMatrix;
 pub use graph::{EdgeIter, OpId, OpIdIter, Operand, PrecedenceGraph};
+pub use reach::ReachIndex;
 pub use op::{DelayModel, OpKind, ResourceClass};
 pub use resources::ResourceSet;
 pub use schedule::{HardSchedule, ScheduleError};
