@@ -1,0 +1,150 @@
+//! Machine-readable BENCH_3: the parallel portfolio study.
+//!
+//! Emits `BENCH_3.json` with (1) the Figure-3 portfolio-quality table
+//! — portfolio vs best-single-meta diameter per benchmark × resource
+//! config, with the certified lower bound — and (2) the thread sweep:
+//! wall time of the 8-strategy race at 1/2/4/8 threads on the
+//! layered-DFG sweep workload, against the single-meta baselines.
+//! `EXPERIMENTS.md` records the interpretation.
+//!
+//! Usage: `portfolio_json [--quick] [--ops N] [OUTPUT_PATH]` —
+//! `--quick` shrinks the sweep workload for CI smoke runs (the JSON
+//! then carries `"quick": true`).
+
+use hls_bench::portfolio::{
+    fig3_portfolio, fig3_report, refinement_study, sweep_report, thread_sweep,
+};
+use std::fmt::Write as _;
+
+fn main() {
+    let mut quick = false;
+    let mut ops: Option<usize> = None;
+    let mut out_path = "BENCH_3.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--ops" {
+            ops = Some(
+                args.next()
+                    .expect("--ops takes a count")
+                    .parse()
+                    .expect("--ops takes an integer"),
+            );
+        } else {
+            out_path = arg;
+        }
+    }
+    let ops = ops.unwrap_or(if quick { 2000 } else { 5000 });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cells = fig3_portfolio(2);
+    print!("{}", fig3_report(&cells));
+    let optimal = cells.iter().filter(|c| c.refined == c.lower_bound).count();
+    println!(
+        "portfolio ≤ best single meta on {}/{} cells (guaranteed); provably optimal on {optimal}",
+        cells.len(),
+        cells.len()
+    );
+
+    let refine_rows = refinement_study(if quick { 4 } else { 12 });
+    let improved: Vec<_> = refine_rows.iter().filter(|r| r.refined < r.base).collect();
+    println!(
+        "feedback refinement: improved {}/{} random-DAG cells (tight resources)",
+        improved.len(),
+        refine_rows.len()
+    );
+    for r in &improved {
+        println!(
+            "  seed {} density {} {}: {} -> {} (bound {}, {} rounds)",
+            r.seed, r.density, r.resources, r.base, r.refined, r.lower_bound, r.rounds
+        );
+    }
+
+    let study = thread_sweep(ops, &[1, 2, 4, 8]);
+    print!("{}", sweep_report(&study));
+    let p8 = study.points.iter().find(|p| p.threads == 8).expect("8-thread point");
+    let ratio8 = p8.wall_us as f64 / study.best_single_us.max(1) as f64;
+    println!(
+        "8-thread portfolio of 8 strategies: {ratio8:.2}x the best single meta's wall time \
+         ({} effective workers on {cores} cores)",
+        p8.workers
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_3\",");
+    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(
+        json,
+        "  \"subject\": \"parallel portfolio (4 paper metas + 4 seeded perturbations, shared atomic incumbent, certified early abort) + feedback-guided critical-cone refinement\","
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str("  \"fig3\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"best_single\": {}, \"best_single_name\": \"{}\", \"portfolio\": {}, \"refined\": {}, \"lower_bound\": {}, \"winner\": \"{}\"}}{comma}",
+            c.benchmark, c.config, c.best_single, c.best_single_name, c.portfolio, c.refined,
+            c.lower_bound, c.winner
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"refinement\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"random_dag(|V|=120) under 1+/-,1* and 2+/-,1*\","
+    );
+    let _ = writeln!(json, "    \"cells\": {},", refine_rows.len());
+    let _ = writeln!(json, "    \"improved\": {},", improved.len());
+    json.push_str("    \"improved_rows\": [\n");
+    for (i, r) in improved.iter().enumerate() {
+        let comma = if i + 1 == improved.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"seed\": {}, \"density\": {}, \"resources\": \"{}\", \"base\": {}, \"refined\": {}, \"lower_bound\": {}, \"rounds\": {}}}{comma}",
+            r.seed, r.density, r.resources, r.base, r.refined, r.lower_bound, r.rounds
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"sweep\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"layered DFG, bounded mean in-degree ~6, ResourceSet::classic(2,2) (complexity::sweep_config)\","
+    );
+    let _ = writeln!(json, "    \"ops\": {},", study.ops);
+    json.push_str("    \"singles\": [\n");
+    for (i, &(name, us, d)) in study.singles.iter().enumerate() {
+        let comma = if i + 1 == study.singles.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"meta\": \"{name}\", \"wall_us\": {us}, \"diameter\": {d}}}{comma}"
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"best_single_wall_us\": {},", study.best_single_us);
+    json.push_str("    \"threads\": [\n");
+    for (i, p) in study.points.iter().enumerate() {
+        let comma = if i + 1 == study.points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {}, \"workers\": {}, \"wall_us\": {}, \"vs_best_single\": {:.3}, \"completed\": {}, \"aborted\": {}, \"work_frac\": {:.4}, \"diameter\": {}}}{comma}",
+            p.threads,
+            p.workers,
+            p.wall_us,
+            p.wall_us as f64 / study.best_single_us.max(1) as f64,
+            p.completed,
+            p.aborted,
+            p.work_frac,
+            p.diameter
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"ratio_8_threads_vs_best_single\": {ratio8:.3}");
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing the bench JSON must succeed");
+    println!("wrote {out_path}");
+}

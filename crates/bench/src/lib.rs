@@ -11,6 +11,9 @@
 //!   absorption: soft refinement vs hard patching vs rescheduling);
 //! * [`meta_ablation`] — sensitivity of the online-optimal scheduler to
 //!   the meta order;
+//! * [`portfolio`] — the parallel portfolio + feedback refinement study
+//!   (BENCH_3): quality vs the best single meta, wall time vs thread
+//!   count under the early-abort protocol;
 //! * [`mem`] — the byte-counting global allocator behind the memory
 //!   column of the scaling study.
 //!
@@ -24,6 +27,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod mem;
 pub mod meta_ablation;
+pub mod portfolio;
 
 /// Renders a plain-text table: header row plus aligned data rows.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {

@@ -10,9 +10,6 @@
 use hls_ir::{bench_graphs, PrecedenceGraph, ResourceSet};
 #[cfg(test)]
 use hls_ir::algo;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use threaded_sched::{meta::MetaSchedule, ThreadedScheduler};
 
 /// Ablation result for one benchmark.
@@ -34,26 +31,6 @@ fn run_order(g: &PrecedenceGraph, r: &ResourceSet, order: &[hls_ir::OpId]) -> u6
     let mut ts = ThreadedScheduler::new(g.clone(), r.clone()).expect("valid benchmark");
     ts.schedule_all(order.iter().copied()).expect("schedulable");
     ts.diameter()
-}
-
-fn random_topo_order(g: &PrecedenceGraph, seed: u64) -> Vec<hls_ir::OpId> {
-    // Kahn with a randomly shuffled ready set.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut indeg: Vec<usize> = g.op_ids().map(|v| g.preds(v).len()).collect();
-    let mut ready: Vec<hls_ir::OpId> = g.op_ids().filter(|&v| indeg[v.index()] == 0).collect();
-    let mut order = Vec::with_capacity(g.len());
-    while !ready.is_empty() {
-        ready.shuffle(&mut rng);
-        let v = ready.pop().expect("nonempty");
-        order.push(v);
-        for &q in g.succs(v) {
-            indeg[q.index()] -= 1;
-            if indeg[q.index()] == 0 {
-                ready.push(q);
-            }
-        }
-    }
-    order
 }
 
 fn stats(lengths: &[u64]) -> (u64, f64, u64) {
@@ -86,7 +63,11 @@ pub fn run(resources: &ResourceSet, samples: u64) -> Vec<AblationRow> {
                 paper_metas[i] = run_order(&g, resources, &order);
             }
             let topo: Vec<u64> = (0..samples)
-                .map(|s| run_order(&g, resources, &random_topo_order(&g, s)))
+                .map(|s| {
+                    let order =
+                        MetaSchedule::RandomTopo(s).order(&g, resources).expect("valid");
+                    run_order(&g, resources, &order)
+                })
                 .collect();
             let any: Vec<u64> = (0..samples)
                 .map(|s| {
@@ -153,17 +134,4 @@ mod tests {
         }
     }
 
-    #[test]
-    fn random_topo_orders_are_valid_permutations() {
-        let g = bench_graphs::hal();
-        let order = random_topo_order(&g, 7);
-        assert_eq!(order.len(), g.len());
-        let mut pos = vec![0usize; g.len()];
-        for (i, v) in order.iter().enumerate() {
-            pos[v.index()] = i;
-        }
-        for (p, q) in g.edges() {
-            assert!(pos[p.index()] < pos[q.index()]);
-        }
-    }
 }

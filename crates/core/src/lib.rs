@@ -42,6 +42,8 @@
 //! # Ok::<(), threaded_sched::SchedError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod exhaustive;
 pub mod meta;
 pub mod reference;
@@ -52,7 +54,7 @@ mod threaded;
 pub use exhaustive::ExhaustiveScheduler;
 pub use reference::ReferenceScheduler;
 pub use soft::{OnlineScheduler, StateSnapshot};
-pub use threaded::{Placement, ThreadedScheduler};
+pub use threaded::{Placement, RunOutcome, ThreadedScheduler};
 
 use hls_ir::{IrError, OpId, OpKind};
 use std::error::Error;

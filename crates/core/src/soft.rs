@@ -21,6 +21,13 @@ use hls_ir::{algo, BitMatrix, OpId, PrecedenceGraph};
 /// A scheduling state exported as a plain precedence graph
 /// (Definition 6: the subgraph of the threaded graph spanned by
 /// `V \ s \ t`).
+///
+/// Snapshots are a *verification* surface: [`StateSnapshot::order`]
+/// materialises the state's dense transitive closure, which is fine at
+/// test sizes but `Θ(|V|²)` bits. The scheduler itself answers its
+/// hot-path reachability probes through the sub-quadratic chain-cover
+/// index ([`hls_ir::ReachIndex`], `DESIGN.md` §5) and never builds
+/// these matrices outside [`check_incremental`]-style oracles.
 #[derive(Clone, Debug)]
 pub struct StateSnapshot {
     /// The state as a precedence graph; vertex `i` corresponds to
@@ -145,6 +152,13 @@ pub fn check_correctness(g: &PrecedenceGraph, snap: &StateSnapshot) -> Result<()
 /// Checks Definition 3's **incremental condition** between two
 /// consecutive states: every ordering of `prev` persists in `next`, and
 /// the vertex set grows by at most one operation.
+///
+/// This is a small-`V` test oracle: it compares the two states' full
+/// dense closures (`Θ(|V|²)` per step). The production engine never
+/// pays that — its incremental guarantees are enforced structurally by
+/// the commit rules and cross-checked against the chain-cover
+/// reachability index ([`hls_ir::ReachIndex`], `DESIGN.md` §5) in
+/// `ThreadedScheduler::check_invariants`.
 ///
 /// # Errors
 ///

@@ -49,22 +49,14 @@
 
 use crate::{SchedError, soft::StateSnapshot};
 use hls_ir::{
-    HardSchedule, OpId, OpKind, PrecedenceGraph, ReachIndex, ResourceClass, ResourceSet,
+    ChainExtrema, HardSchedule, OpId, OpKind, PrecedenceGraph, ReachIndex, ResourceClass,
+    ResourceSet,
 };
 use std::cell::RefCell;
 
 /// Missing-edge / missing-node sentinel in the flat edge and reach
 /// tables.
 const NONE: u32 = u32::MAX;
-
-/// "Chain holds no scheduled op" sentinel for `chain_sched_min`. Like
-/// [`hls_ir::reach::NO_DOWN`] it must compare above every chain
-/// position, so the two are aliased: if `reach` ever changes its
-/// position encoding, the probes follow.
-const NO_MIN: hls_ir::reach::Pos = hls_ir::reach::NO_DOWN;
-/// The `chain_sched_max` mirror: compares below every `down` entry
-/// (positions are 1-based), aliasing [`hls_ir::reach::NO_UP`].
-const NO_MAX: hls_ir::reach::Pos = hls_ir::reach::NO_UP;
 
 /// `(sdist, tdist, reach_b, reach_f)` of a from-scratch recomputation.
 type FullLabels = (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>);
@@ -73,6 +65,19 @@ type FullLabels = (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>);
 /// needs ~32 inserts into the same gap before a chain renumber; tail
 /// inserts extend the numbering instead and never exhaust it.
 const GAP: u64 = 1 << 32;
+
+/// How a budgeted [`ThreadedScheduler::schedule_all_until`] run ended.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Every operation of the order was scheduled.
+    Completed,
+    /// The abort hook fired; `scheduled` operations had been fed
+    /// (including the one whose commit triggered the hook).
+    Aborted {
+        /// Operations scheduled before the abort.
+        scheduled: usize,
+    },
+}
 
 /// Where `select` decided to put an operation.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -143,14 +148,37 @@ pub struct ThreadedScheduler {
     /// `Θ(|V|²)`-bit closure matrices — repaired locally under
     /// refinement.
     reach: ReachIndex,
-    /// Per chain of `reach`: the minimum scheduled position
-    /// ([`NO_MIN`] when the chain holds no scheduled op). Any op whose
-    /// `up` entry reaches this far has a scheduled ancestor.
-    chain_sched_min: Vec<hls_ir::reach::Pos>,
-    /// Per chain: the maximum scheduled position ([`NO_MAX`] when
-    /// none) — the mirror for scheduled descendants.
-    chain_sched_max: Vec<hls_ir::reach::Pos>,
+    /// Per-chain scheduled-position extrema, maintained with one
+    /// `O(1)` insert per commit. `select`'s frontier-walk pruning
+    /// probes the set through [`ReachIndex::set_reaches`] /
+    /// [`ReachIndex::set_reached_by`] in `O(#chains)`.
+    sched_extrema: ChainExtrema,
     resources: ResourceSet,
+    /// Cached state diameter `max(sdist)`. `sdist` labels only grow
+    /// under scheduling (Lemma 4; delay retyping relabels and
+    /// recomputes), so the cache is a running maximum — this makes
+    /// [`ThreadedScheduler::diameter`] `O(1)`, cheap enough for the
+    /// per-operation early-abort probes of
+    /// [`ThreadedScheduler::schedule_all_until`].
+    diam: u64,
+    /// Static behavior-graph sink distances `‖v→‖_G` (inclusive),
+    /// indexed by op — the tail term of the final-diameter lower
+    /// bound. Recomputed on graph growth and delay retyping (cold
+    /// paths).
+    gdist: Vec<u64>,
+    /// Running maximum of `sdist(a) − D(a) + ‖a→‖_G` over scheduled
+    /// ops: a certified lower bound on the diameter any *completed*
+    /// run extending this state must reach (every graph descendant of
+    /// `a` still has to be ordered after it — the correctness
+    /// condition). Much tighter than the prefix diameter early in a
+    /// run; see [`ThreadedScheduler::final_lower_bound`].
+    proj: u64,
+    /// Static resource floor: for every group of operations sharing
+    /// the same compatible-unit set, the group's delay-sum divided by
+    /// the unit count. Any completed schedule serialises that work on
+    /// those units, so its diameter is at least the floor — the
+    /// binding term of the lower bound on resource-bound workloads.
+    res_floor: u64,
     // ---- structure-of-arrays node storage ----
     /// Per node: its thread.
     n_thread: Vec<u32>,
@@ -203,15 +231,19 @@ impl ThreadedScheduler {
     pub fn new(g: PrecedenceGraph, resources: ResourceSet) -> Result<Self, SchedError> {
         g.validate()?;
         let reach = ReachIndex::build(&g);
-        let chains = reach.chain_count();
+        let sched_extrema = ChainExtrema::empty(&reach);
+        let gdist = hls_ir::algo::sink_distances(&g);
         let k = resources.k();
         let mut ts = ThreadedScheduler {
             node_of: vec![None; g.len()],
             g,
             reach,
-            chain_sched_min: vec![NO_MIN; chains],
-            chain_sched_max: vec![NO_MAX; chains],
+            sched_extrema,
             resources,
+            diam: 0,
+            gdist,
+            proj: 0,
+            res_floor: 0,
             n_thread: Vec::with_capacity(2 * k),
             n_pos: Vec::new(),
             n_sdist: Vec::new(),
@@ -233,6 +265,7 @@ impl ThreadedScheduler {
         for _ in 0..k {
             ts.push_thread();
         }
+        ts.res_floor = ts.resource_floor();
         Ok(ts)
     }
 
@@ -296,9 +329,64 @@ impl ThreadedScheduler {
 
     /// The diameter `‖S‖` of the scheduling state — the critical-path
     /// delay-sum including all artificial serialisation edges. By
-    /// Lemma 4 this is monotone under scheduling.
+    /// Lemma 4 this is monotone under scheduling. `O(1)` (cached
+    /// running maximum of the `sdist` labels).
     pub fn diameter(&self) -> u64 {
-        self.n_sdist.iter().copied().max().unwrap_or(0)
+        self.diam
+    }
+
+    /// A certified lower bound on the diameter of any *completed*
+    /// schedule extending the current state: the maximum of
+    ///
+    /// * the current diameter (monotone, Lemma 4);
+    /// * the *projection* — over scheduled ops `a`,
+    ///   `sdist(a) − D(a) + ‖a→‖_G` (every graph descendant of `a`,
+    ///   scheduled yet or not, must end up ordered after `a` by the
+    ///   correctness condition, so the longest behavior-graph tail out
+    ///   of `a` is still owed) — the binding term on latency-bound
+    ///   workloads;
+    /// * the static resource floor (work per compatible-unit set) —
+    ///   the binding term on resource-bound workloads.
+    ///
+    /// `O(1)` — all terms are cached maxima.
+    ///
+    /// This is what the early-abort hook of
+    /// [`ThreadedScheduler::schedule_all_until`] reports: it lets a
+    /// portfolio run prove it cannot beat an incumbent long before its
+    /// prefix diameter says so.
+    pub fn final_lower_bound(&self) -> u64 {
+        self.diam.max(self.proj).max(self.res_floor)
+    }
+
+    /// A certified lower bound on *any* complete schedule of the
+    /// behavior under the current resources, independent of this
+    /// state: the behavior-graph diameter folded with the resource
+    /// floor. A schedule whose length equals this value is provably
+    /// optimal — the portfolio uses that certificate to skip futile
+    /// refinement rounds.
+    pub fn schedule_lower_bound(&self) -> u64 {
+        self.res_floor
+            .max(self.gdist.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The distance `‖←v→‖ = sdist(v) + tdist(v) − D(v)` of a scheduled
+    /// operation — the length of the longest state path through `v`.
+    /// `None` if `v` is unscheduled or out of range. An operation is
+    /// *critical* when its distance equals [`ThreadedScheduler::diameter`];
+    /// `diameter − distance` is its slack, the selection key of the
+    /// critical-cone extraction in the portfolio's refinement loop.
+    pub fn distance(&self, v: OpId) -> Option<u64> {
+        let n = self.node_of.get(v.index()).copied().flatten()?;
+        Some(self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize])
+    }
+
+    /// The chain-cover reachability index the scheduler maintains over
+    /// its working behavior graph (kept exact under refinement growth).
+    /// Exposed so portfolio-level tooling can run `O(#chains)` set
+    /// probes — e.g. [`ReachIndex::convex_closure`] for critical-cone
+    /// extraction — without rebuilding the index.
+    pub fn reach_index(&self) -> &ReachIndex {
+        &self.reach
     }
 
     /// Schedules one operation: `select` then `commit` (the paper's
@@ -344,6 +432,39 @@ impl ThreadedScheduler {
             self.schedule(v)?;
         }
         Ok(())
+    }
+
+    /// Like [`ThreadedScheduler::schedule_all`], but with an
+    /// early-abort hook: after every scheduled operation, `abort` is
+    /// called with the current
+    /// [`final-diameter lower bound`](ThreadedScheduler::final_lower_bound);
+    /// returning `true` stops the run and reports how far it got.
+    ///
+    /// This is the budget hook behind the parallel portfolio
+    /// scheduler (`hls-search`): the bound is monotone under
+    /// scheduling and certified (a completed extension of this state
+    /// can never beat it), so a run whose bound already rules out
+    /// beating a completed rival's diameter can abort without changing
+    /// the portfolio's result — the portfolio threads an atomic
+    /// incumbent into this callback and losing runs stop paying for
+    /// themselves. The hook is `O(1)` per operation on top of the
+    /// schedule itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SchedError`] encountered.
+    pub fn schedule_all_until(
+        &mut self,
+        order: impl IntoIterator<Item = OpId>,
+        mut abort: impl FnMut(u64) -> bool,
+    ) -> Result<RunOutcome, SchedError> {
+        for (fed, v) in order.into_iter().enumerate() {
+            self.schedule(v)?;
+            if abort(self.final_lower_bound()) {
+                return Ok(RunOutcome::Aborted { scheduled: fed + 1 });
+            }
+        }
+        Ok(RunOutcome::Completed)
     }
 
     /// The paper's `select`: finds the feasible insertion position
@@ -452,10 +573,7 @@ impl ThreadedScheduler {
 
         self.node_of[v.index()] = Some(n);
         self.op_of[n as usize] = Some(v);
-        let c = self.reach.chain_of(v.index());
-        let p = self.reach.pos_of(v.index());
-        self.chain_sched_min[c] = self.chain_sched_min[c].min(p);
-        self.chain_sched_max[c] = self.chain_sched_max[c].max(p);
+        self.sched_extrema.insert(&self.reach, v.index());
 
         // Figure 2 rules for the scheduled frontier (dominated ancestors
         // and descendants are already ordered through it — DESIGN.md §4).
@@ -689,8 +807,15 @@ impl ThreadedScheduler {
             self.total_delay = self.total_delay - self.n_delay[n as usize] + delay;
             self.n_delay[n as usize] = delay;
             // Delays may shrink, so increase-only propagation does not
-            // apply; this cold path relabels from scratch.
+            // apply; this cold path relabels from scratch (which also
+            // refreshes the lower-bound caches).
             self.relabel_full();
+        } else {
+            // The graph changed even though the state did not: the
+            // static sink distances and the resource floor feeding
+            // `final_lower_bound` must not go stale (a stale bound
+            // stops being a *lower* bound when delays shrink).
+            self.refresh_proj();
         }
     }
 
@@ -777,22 +902,16 @@ impl ThreadedScheduler {
         self.reach
             .check(&self.g)
             .map_err(|e| format!("reach index: {e}"))?;
-        if self.chain_sched_min.len() != self.reach.chain_count()
-            || self.chain_sched_max.len() != self.reach.chain_count()
-        {
-            return Err("chain_sched arrays disagree with chain count".to_string());
+        if self.sched_extrema.chain_count() != self.reach.chain_count() {
+            return Err("scheduled extrema disagree with chain count".to_string());
         }
-        let mut want_min = vec![NO_MIN; self.reach.chain_count()];
-        let mut want_max = vec![NO_MAX; self.reach.chain_count()];
-        for v in self.g.op_ids() {
-            if self.node_of[v.index()].is_some() {
-                let c = self.reach.chain_of(v.index());
-                let p = self.reach.pos_of(v.index());
-                want_min[c] = want_min[c].min(p);
-                want_max[c] = want_max[c].max(p);
-            }
-        }
-        if want_min != self.chain_sched_min || want_max != self.chain_sched_max {
+        let want = self.reach.extrema(
+            self.g
+                .op_ids()
+                .filter(|v| self.node_of[v.index()].is_some())
+                .map(|v| v.index()),
+        );
+        if want != self.sched_extrema {
             return Err("stale per-chain scheduled extrema".to_string());
         }
         // Acyclicity + freshness of the incrementally maintained labels
@@ -800,6 +919,34 @@ impl ThreadedScheduler {
         let (sdist, tdist, rb, rf) = self
             .compute_labels_full()
             .ok_or_else(|| "scheduling state must stay acyclic".to_string())?;
+        if self.diam != sdist.iter().copied().max().unwrap_or(0) {
+            return Err(format!(
+                "cached diameter {} disagrees with label maximum",
+                self.diam
+            ));
+        }
+        if self.gdist != hls_ir::algo::sink_distances(&self.g) {
+            return Err("stale graph sink distances".to_string());
+        }
+        let want_proj = (0..n_nodes)
+            .filter_map(|n| {
+                self.op_of[n]
+                    .map(|op| sdist[n] - self.n_delay[n] + self.gdist[op.index()])
+            })
+            .max()
+            .unwrap_or(0);
+        if self.proj != want_proj {
+            return Err(format!(
+                "final-diameter projection {} disagrees with label recomputation {want_proj}",
+                self.proj
+            ));
+        }
+        if self.final_lower_bound() < self.diam {
+            return Err("final lower bound below the diameter".to_string());
+        }
+        if self.res_floor != self.resource_floor() {
+            return Err("stale resource floor".to_string());
+        }
         for n in 0..n_nodes {
             if self.n_sdist[n] != sdist[n] || self.tdist_of(n as u32) != tdist[n] {
                 return Err(format!("node {n}: stale labels"));
@@ -1037,22 +1184,14 @@ impl ThreadedScheduler {
     /// reaches `x`. `O(#chains)`, branchless — this replaces the seed's
     /// `Θ(|V|/64)` closure-row ∩ scheduled-mask probe.
     fn has_scheduled_ancestor(&self, x: usize) -> bool {
-        self.reach
-            .up_row(x)
-            .iter()
-            .zip(&self.chain_sched_min)
-            .any(|(&u, &m)| m <= u)
+        self.reach.set_reaches(&self.sched_extrema, x)
     }
 
     /// `true` iff op `x` has a scheduled strict descendant — the mirror
     /// of [`Self::has_scheduled_ancestor`] against the per-chain
     /// scheduled maxima.
     fn has_scheduled_descendant(&self, x: usize) -> bool {
-        self.reach
-            .down_row(x)
-            .iter()
-            .zip(&self.chain_sched_max)
-            .any(|(&d, &m)| m >= d)
+        self.reach.set_reached_by(&self.sched_extrema, x)
     }
 
     /// Walks the *scheduled frontier* of `v`: the first scheduled
@@ -1326,8 +1465,64 @@ impl ThreadedScheduler {
             }
         }
         self.n_sdist[ni] = sd + self.n_delay[ni];
+        self.diam = self.diam.max(self.n_sdist[ni]);
+        self.note_proj(ni);
         lz.val[ni] = td + self.n_delay[ni];
         lz.dirty[ni] = false;
+    }
+
+    /// Folds node `n`'s current label into the final-diameter lower
+    /// bound (no-op for sentinels).
+    fn note_proj(&mut self, n: usize) {
+        if let Some(op) = self.op_of[n] {
+            self.proj = self
+                .proj
+                .max(self.n_sdist[n] - self.n_delay[n] + self.gdist[op.index()]);
+        }
+    }
+
+    /// Recomputes the static graph sink distances, the projection
+    /// maximum and the resource floor from scratch — the cold-path
+    /// companion of [`Self::relabel_full`] and
+    /// [`Self::sync_graph_growth`] (graph growth only raises `gdist`,
+    /// but delay retyping can shrink it, so the running maxima must be
+    /// rebuilt, not folded).
+    fn refresh_proj(&mut self) {
+        self.gdist = hls_ir::algo::sink_distances(&self.g);
+        self.proj = 0;
+        for n in 0..self.op_of.len() {
+            self.note_proj(n);
+        }
+        self.res_floor = self.resource_floor();
+    }
+
+    /// Computes the static resource floor: operations are grouped by
+    /// their exact compatible-unit set; each group's delay-sum must
+    /// serialise over its units, so `⌈W_U / |U|⌉` lower-bounds every
+    /// completed schedule. Wire-class operations occupy no unit and
+    /// are exempt. Cold path only (`O(|V| · K)`).
+    fn resource_floor(&self) -> u64 {
+        let k = self.resources.k();
+        let mut groups: std::collections::HashMap<Vec<bool>, u64> =
+            std::collections::HashMap::new();
+        for v in self.g.op_ids() {
+            let kind = self.g.kind(v);
+            if kind.resource_class() == ResourceClass::Wire {
+                continue;
+            }
+            let set: Vec<bool> = (0..k).map(|u| self.resources.compatible(u, kind)).collect();
+            if set.iter().any(|&b| b) {
+                *groups.entry(set).or_insert(0) += self.g.delay(v);
+            }
+        }
+        groups
+            .iter()
+            .map(|(set, &w)| {
+                let units = set.iter().filter(|&&b| b).count() as u64;
+                w.div_ceil(units)
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Increase-only relaxation of `sdist` and the backward reach
@@ -1357,6 +1552,8 @@ impl ThreadedScheduler {
                 assert!(cand <= self.total_delay, "scheduling state must stay acyclic");
                 if cand > self.n_sdist[zi] {
                     self.n_sdist[zi] = cand;
+                    self.diam = self.diam.max(cand);
+                    self.note_proj(zi);
                     improved = true;
                 }
                 for t in 0..self.threads {
@@ -1516,6 +1713,10 @@ impl ThreadedScheduler {
             .compute_labels_full()
             .expect("scheduling state must stay acyclic");
         self.n_sdist = sdist;
+        // Labels may have shrunk (delay retyping): recompute the cached
+        // maxima instead of folding into the running ones.
+        self.diam = self.n_sdist.iter().copied().max().unwrap_or(0);
+        self.refresh_proj();
         let lz = self.n_tdist.get_mut();
         lz.dirty.iter_mut().for_each(|d| *d = false);
         lz.val = tdist;
@@ -1537,8 +1738,8 @@ impl ThreadedScheduler {
             return;
         }
         self.reach.grow(&self.g);
-        self.chain_sched_min.resize(self.reach.chain_count(), NO_MIN);
-        self.chain_sched_max.resize(self.reach.chain_count(), NO_MAX);
+        self.sched_extrema.sync_chain_count(&self.reach);
+        self.refresh_proj();
     }
 }
 
@@ -1620,6 +1821,103 @@ mod tests {
             ts.check_invariants().unwrap();
         }
         assert_eq!(ts.diameter(), 5);
+    }
+
+    #[test]
+    fn schedule_all_until_aborts_on_the_hook_and_reports_progress() {
+        let (mut ts, v) = fig1_scheduler();
+        // Abort as soon as the certified final-diameter bound reaches
+        // 3 — with the graph-tail projection that happens well before
+        // the prefix diameter itself does.
+        let outcome = ts.schedule_all_until(v, |bound| bound >= 3).unwrap();
+        let RunOutcome::Aborted { scheduled } = outcome else {
+            panic!("must abort: the full schedule reaches diameter 5");
+        };
+        assert!(scheduled < 7, "aborted before the full order");
+        assert_eq!(ts.scheduled_count(), scheduled);
+        assert!(ts.final_lower_bound() >= 3);
+        ts.check_invariants().unwrap();
+        // A hook that never fires degenerates to schedule_all.
+        let (mut ts2, v2) = fig1_scheduler();
+        assert_eq!(
+            ts2.schedule_all_until(v2, |_| false).unwrap(),
+            RunOutcome::Completed
+        );
+        assert_eq!(ts2.scheduled_count(), 7);
+    }
+
+    #[test]
+    fn final_lower_bound_is_certified_and_converges_to_the_diameter() {
+        let g = bench_graphs::ewf();
+        let order = hls_ir::algo::topo_order(&g).unwrap();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(2, 2)).unwrap();
+        // Final diameter of this run, from a twin.
+        let mut twin = ts.clone();
+        twin.schedule_all(order.iter().copied()).unwrap();
+        let final_d = twin.diameter();
+        let mut last = 0;
+        for &v in &order {
+            ts.schedule(v).unwrap();
+            let b = ts.final_lower_bound();
+            assert!(b <= final_d, "bound {b} overshoots the final diameter {final_d}");
+            assert!(b >= last, "bound must be monotone within a run");
+            assert!(b >= ts.diameter(), "bound folds the prefix diameter");
+            last = b;
+        }
+        assert_eq!(ts.final_lower_bound(), final_d, "at completion the bound is exact");
+    }
+
+    #[test]
+    fn retyping_an_unscheduled_op_refreshes_the_bound_caches() {
+        // Regression: retype_op mutates the graph even when the op is
+        // not yet in the state; the static bound terms must follow or
+        // final_lower_bound stops being a lower bound.
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Mul, 4, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, b).unwrap();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(1, 1)).unwrap();
+        ts.retype_op(a, OpKind::Nop, 0); // before scheduling anything
+        ts.schedule_all([a, b]).unwrap();
+        assert_eq!(ts.diameter(), 1);
+        assert!(ts.final_lower_bound() <= ts.diameter());
+        assert!(ts.schedule_lower_bound() <= ts.diameter());
+        ts.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cached_diameter_tracks_retyping_shrinkage() {
+        // retype_op may shrink delays; the cached running maximum must
+        // be recomputed, not kept.
+        let mut g = PrecedenceGraph::new();
+        let a = g.add_op(OpKind::Mul, 4, "a");
+        let b = g.add_op(OpKind::Add, 1, "b");
+        g.add_edge(a, b).unwrap();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(1, 1)).unwrap();
+        ts.schedule_all([a, b]).unwrap();
+        assert_eq!(ts.diameter(), 5);
+        ts.retype_op(a, OpKind::Nop, 0);
+        assert_eq!(ts.diameter(), 1, "diameter must shrink with the delay");
+        ts.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn distance_matches_placement_cost_and_gates_on_scheduling() {
+        let (mut ts, v) = fig1_scheduler();
+        assert_eq!(ts.distance(v[0]), None, "unscheduled has no distance");
+        let p = ts.schedule(v[0]).unwrap();
+        assert_eq!(ts.distance(v[0]), Some(p.cost));
+        assert_eq!(ts.distance(OpId::from_index(999)), None);
+        // After a full run, critical ops have distance == diameter.
+        for op in [v[1], v[2], v[3], v[4], v[5], v[6]] {
+            ts.schedule(op).unwrap();
+        }
+        let crit = ts
+            .graph()
+            .op_ids()
+            .filter(|&op| ts.distance(op) == Some(ts.diameter()))
+            .count();
+        assert!(crit > 0, "some op must lie on the critical path");
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! # Ok::<(), hls_ir::IrError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod algo;
 pub mod bench_graphs;
 mod bitmatrix;
@@ -47,7 +49,7 @@ pub mod textfmt;
 
 pub use bitmatrix::BitMatrix;
 pub use graph::{EdgeIter, OpId, OpIdIter, Operand, PrecedenceGraph};
-pub use reach::ReachIndex;
+pub use reach::{ChainExtrema, ReachIndex};
 pub use op::{DelayModel, OpKind, ResourceClass};
 pub use resources::ResourceSet;
 pub use schedule::{HardSchedule, ScheduleError};

@@ -35,7 +35,7 @@
 use crate::{algo, OpId, PrecedenceGraph};
 
 /// Chain position type. Positions are chain-local and chains are split
-/// at [`MAX_POS`] members, so 16 bits always suffice — this halves the
+/// at `MAX_POS` members, so 16 bits always suffice — this halves the
 /// `O(|V| · #chains)` tables relative to a `u32` encoding (the tables
 /// dominate the index's footprint at production sizes).
 pub type Pos = u16;
@@ -49,6 +49,71 @@ pub const NO_DOWN: Pos = Pos::MAX;
 /// "No ancestor in this chain" sentinel: smaller than every position
 /// (positions are 1-based).
 pub const NO_UP: Pos = 0;
+
+/// Per-chain position extrema of a vertex subset — the shared
+/// ingredient of every `O(#chains)` existential probe ("does any
+/// member of the set strictly reach / get reached by `v`?").
+///
+/// For a set `S`, `min[c]` is the lowest chain-`c` position occupied
+/// by a member (or [`NO_DOWN`] when none) and `max[c]` the highest (or
+/// [`NO_UP`]). Because chain members reach their chain successors, the
+/// chain-minimum member reaches everything any member of that chain
+/// reaches, so the extrema alone decide set-level reachability — see
+/// [`ReachIndex::set_reaches`] and [`ReachIndex::set_reached_by`].
+///
+/// Build one for an ad-hoc set with [`ReachIndex::extrema`], or keep
+/// one incrementally with [`ChainExtrema::insert`] (the threaded
+/// scheduler maintains its scheduled-set extrema this way, one `O(1)`
+/// insert per commit). After [`ReachIndex::grow`] adds chains, call
+/// [`ChainExtrema::sync_chain_count`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainExtrema {
+    /// Per chain: lowest member position, [`NO_DOWN`] when empty.
+    min: Vec<Pos>,
+    /// Per chain: highest member position, [`NO_UP`] when empty.
+    max: Vec<Pos>,
+}
+
+impl ChainExtrema {
+    /// The extrema of the empty set over the chains of `index`.
+    pub fn empty(index: &ReachIndex) -> ChainExtrema {
+        ChainExtrema {
+            min: vec![NO_DOWN; index.chain_count()],
+            max: vec![NO_UP; index.chain_count()],
+        }
+    }
+
+    /// Adds vertex `v` to the set. `O(1)`.
+    pub fn insert(&mut self, index: &ReachIndex, v: usize) {
+        let c = index.chain_of(v);
+        let p = index.pos_of(v);
+        self.min[c] = self.min[c].min(p);
+        self.max[c] = self.max[c].max(p);
+    }
+
+    /// Number of chains the extrema cover.
+    pub fn chain_count(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Extends the per-chain tables with empty entries after the
+    /// underlying index grew new chains ([`ReachIndex::grow`]).
+    pub fn sync_chain_count(&mut self, index: &ReachIndex) {
+        self.min.resize(index.chain_count(), NO_DOWN);
+        self.max.resize(index.chain_count(), NO_UP);
+    }
+
+    /// The lowest member position in chain `c` ([`NO_DOWN`] when the
+    /// chain holds no member).
+    pub fn min_of(&self, c: usize) -> Pos {
+        self.min[c]
+    }
+
+    /// The highest member position in chain `c` ([`NO_UP`] when none).
+    pub fn max_of(&self, c: usize) -> Pos {
+        self.max[c]
+    }
+}
 
 /// The chain-cover reachability index of a [`PrecedenceGraph`].
 ///
@@ -189,6 +254,60 @@ impl ReachIndex {
     /// [`ReachIndex::down_row`].
     pub fn up_row(&self, v: usize) -> &[Pos] {
         &self.up[v * self.stride..v * self.stride + self.chains]
+    }
+
+    /// Builds the [`ChainExtrema`] of an ad-hoc vertex set.
+    pub fn extrema(&self, set: impl IntoIterator<Item = usize>) -> ChainExtrema {
+        let mut ex = ChainExtrema::empty(self);
+        for v in set {
+            ex.insert(self, v);
+        }
+        ex
+    }
+
+    /// `true` iff some member of the set behind `ex` strictly reaches
+    /// `v`. `O(#chains)`: a chain's minimum member reaches everything
+    /// any member of that chain reaches, so chain `c` contributes an
+    /// ancestor exactly when `ex.min_of(c) ≤ up[v][c]`.
+    pub fn set_reaches(&self, ex: &ChainExtrema, v: usize) -> bool {
+        self.up_row(v)
+            .iter()
+            .zip(&ex.min)
+            .any(|(&u, &m)| m <= u)
+    }
+
+    /// `true` iff some member of the set behind `ex` is strictly
+    /// reached by `v` — the mirror of [`ReachIndex::set_reaches`]
+    /// against the per-chain maxima and the `down` vector.
+    pub fn set_reached_by(&self, ex: &ChainExtrema, v: usize) -> bool {
+        self.down_row(v)
+            .iter()
+            .zip(&ex.max)
+            .any(|(&d, &m)| m >= d)
+    }
+
+    /// The *convex closure* of `seed`: the seed vertices plus every
+    /// vertex lying on a path between two of them (a strict ancestor of
+    /// one seed member and a strict descendant of another). This is the
+    /// critical-path *cone* extraction used by the feedback-guided
+    /// refinement loop: seeded with the zero-slack operations, it
+    /// returns a dependence-convex subgraph whose internal order is the
+    /// only thing the re-scheduling perturbations need to vary.
+    ///
+    /// `O(|V| · #chains)` — two set-probes per vertex against the
+    /// seed's [`ChainExtrema`]. The result is sorted ascending and
+    /// duplicate-free (assuming `seed` is).
+    pub fn convex_closure(&self, seed: &[usize]) -> Vec<usize> {
+        let ex = self.extrema(seed.iter().copied());
+        let mut in_seed = vec![false; self.n];
+        for &v in seed {
+            in_seed[v] = true;
+        }
+        (0..self.n)
+            .filter(|&v| {
+                in_seed[v] || (self.set_reaches(&ex, v) && self.set_reached_by(&ex, v))
+            })
+            .collect()
     }
 
     /// Absorbs vertices appended to `g` since the index was built or
@@ -666,6 +785,62 @@ mod tests {
             last = w;
         }
         assert_eq!(idx.len(), g.len());
+    }
+
+    #[test]
+    fn set_probes_match_the_dense_closure() {
+        let (g, ids) = {
+            let (g, ids) = diamond();
+            (g, ids.to_vec())
+        };
+        let idx = ReachIndex::build(&g);
+        let (anc, desc) = crate::algo::closures(&g);
+        // Every nonempty subset of the 4 vertices, both probes, every
+        // probe vertex — exhaustive against the dense oracle.
+        for bits in 1u32..16 {
+            let set: Vec<usize> = (0..4).filter(|i| bits & (1 << i) != 0).collect();
+            let ex = idx.extrema(set.iter().copied());
+            for v in 0..4 {
+                let want_anc = set.iter().any(|&u| desc.get(u, v));
+                let want_desc = set.iter().any(|&u| anc.get(u, v));
+                assert_eq!(idx.set_reaches(&ex, v), want_anc, "set {set:?} reaches {v}");
+                assert_eq!(idx.set_reached_by(&ex, v), want_desc, "set {set:?} reached by {v}");
+            }
+        }
+        let _ = ids;
+    }
+
+    #[test]
+    fn convex_closure_fills_in_the_between_vertices() {
+        // a -> b -> d, a -> c -> d: the closure of {a, d} must pull in
+        // b and c (both between), while {b} alone stays {b}.
+        let (g, [a, b, c, d]) = diamond();
+        let idx = ReachIndex::build(&g);
+        let cone = idx.convex_closure(&[a.index(), d.index()]);
+        assert_eq!(cone, vec![a.index(), b.index(), c.index(), d.index()]);
+        assert_eq!(idx.convex_closure(&[b.index()]), vec![b.index()]);
+        assert_eq!(idx.convex_closure(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn extrema_track_grow_and_incremental_inserts() {
+        let (mut g, [a, b, _c, d]) = diamond();
+        let mut idx = ReachIndex::build(&g);
+        let mut ex = ChainExtrema::empty(&idx);
+        ex.insert(&idx, a.index());
+        assert!(idx.set_reaches(&ex, d.index()));
+        assert!(!idx.set_reaches(&ex, a.index()), "strict: a does not reach itself");
+        // Grow the graph; the extrema must resize before further use.
+        let x = g.add_op(OpKind::Add, 1, "x");
+        g.add_edge(b, x).unwrap();
+        idx.grow(&g);
+        ex.sync_chain_count(&idx);
+        assert_eq!(ex.chain_count(), idx.chain_count());
+        assert!(idx.set_reaches(&ex, x.index()), "a reaches the new vertex");
+        // Incremental inserts agree with the batch constructor.
+        ex.insert(&idx, x.index());
+        let batch = idx.extrema([a.index(), x.index()]);
+        assert_eq!(ex, batch);
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn assert_matches_dense(
     if let Err(e) = idx.check(g) {
         return Err(TestCaseError::fail(format!("[{tag}] index check: {e}")));
     }
-    let (_, desc) = algo::closures(g);
+    let (anc, desc) = algo::closures(g);
     for u in 0..g.len() {
         for v in 0..g.len() {
             prop_assert_eq!(
@@ -29,6 +29,48 @@ fn assert_matches_dense(
                 "[{}] reaches({}, {})",
                 tag,
                 u,
+                v
+            );
+        }
+    }
+    // Set-level probes (ChainExtrema) against the same oracle, over a
+    // few deterministic stride-subsets of the vertices.
+    for stride in [2usize, 3, 7] {
+        let set: Vec<usize> = (0..g.len()).step_by(stride).collect();
+        let ex = idx.extrema(set.iter().copied());
+        for v in 0..g.len() {
+            let want_reach = set.iter().any(|&u| desc.get(u, v));
+            let want_by = set.iter().any(|&u| anc.get(u, v));
+            prop_assert_eq!(
+                idx.set_reaches(&ex, v),
+                want_reach,
+                "[{}] set_reaches stride {} at {}",
+                tag,
+                stride,
+                v
+            );
+            prop_assert_eq!(
+                idx.set_reached_by(&ex, v),
+                want_by,
+                "[{}] set_reached_by stride {} at {}",
+                tag,
+                stride,
+                v
+            );
+        }
+        // Convex closure: exactly the seeds plus the strictly-between
+        // vertices.
+        let cone = idx.convex_closure(&set);
+        for v in 0..g.len() {
+            let between = set.iter().any(|&u| desc.get(u, v))
+                && set.iter().any(|&u| anc.get(u, v));
+            let want = set.contains(&v) || between;
+            prop_assert_eq!(
+                cone.binary_search(&v).is_ok(),
+                want,
+                "[{}] convex_closure stride {} at {}",
+                tag,
+                stride,
                 v
             );
         }

@@ -1,0 +1,100 @@
+//! Critical-cone extraction — the *subgraph extraction* half of the
+//! feedback loop.
+//!
+//! After a schedule completes, every operation `v` has a distance
+//! `‖←v→‖ = sdist(v) + tdist(v) − D(v)` and a slack
+//! `‖S‖ − ‖←v→‖`. The zero-slack operations are exactly the ones on a
+//! critical state path; they (plus a configurable near-critical band)
+//! seed the cone. The seed alone is not enough to re-order, though: a
+//! perturbation that moves a critical op past a non-critical one it
+//! depends on through intermediate vertices must move those too, so
+//! the seed is *convex-closed* — every vertex lying between two seed
+//! members joins the cone ([`hls_ir::ReachIndex::convex_closure`],
+//! `O(|V| · #chains)` against the scheduler's maintained index).
+
+use hls_ir::OpId;
+use threaded_sched::ThreadedScheduler;
+
+/// Extracts the critical-path cone of the scheduler's current state:
+/// all scheduled operations with slack `≤ slack_band`, convex-closed
+/// over the behavior graph. The result is sorted by operation index
+/// and deterministic for a given state.
+///
+/// `slack_band = 0` is the pure critical cone; widening the band pulls
+/// in near-critical operations, which grows the perturbation space at
+/// the cost of larger re-scheduling moves. A band of `u64::MAX`
+/// degenerates to the whole scheduled set.
+pub fn critical_cone(ts: &ThreadedScheduler, slack_band: u64) -> Vec<OpId> {
+    let diam = ts.diameter();
+    let seed: Vec<usize> = ts
+        .graph()
+        .op_ids()
+        .filter(|&v| matches!(ts.distance(v), Some(dist) if diam - dist <= slack_band))
+        .map(|v| v.index())
+        .collect();
+    ts.reach_index()
+        .convex_closure(&seed)
+        .into_iter()
+        .map(OpId::from_index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{bench_graphs, ResourceSet};
+    use threaded_sched::meta::MetaSchedule;
+
+    fn scheduled_ewf() -> ThreadedScheduler {
+        let g = bench_graphs::ewf();
+        let r = ResourceSet::classic(2, 2);
+        let order = MetaSchedule::Topological.order(&g, &r).unwrap();
+        let mut ts = ThreadedScheduler::new(g, r).unwrap();
+        ts.schedule_all(order).unwrap();
+        ts
+    }
+
+    #[test]
+    fn zero_band_cone_is_nonempty_and_all_critical_ops_are_in_it() {
+        let ts = scheduled_ewf();
+        let cone = critical_cone(&ts, 0);
+        assert!(!cone.is_empty(), "a completed schedule has a critical path");
+        for v in ts.graph().op_ids() {
+            if ts.distance(v) == Some(ts.diameter()) {
+                assert!(cone.contains(&v), "critical op {v} missing from the cone");
+            }
+        }
+        assert!(cone.len() < ts.graph().len(), "EF is not all-critical");
+    }
+
+    #[test]
+    fn cone_grows_monotonically_with_the_band_up_to_everything() {
+        let ts = scheduled_ewf();
+        let mut last = 0usize;
+        for band in [0u64, 1, 2, 4, u64::MAX] {
+            let cone = critical_cone(&ts, band);
+            assert!(cone.len() >= last, "band {band} shrank the cone");
+            last = cone.len();
+        }
+        assert_eq!(last, ts.graph().len(), "infinite band covers everything");
+    }
+
+    #[test]
+    fn cone_is_convex_under_the_graph_order() {
+        let ts = scheduled_ewf();
+        let cone = critical_cone(&ts, 1);
+        let idx = ts.reach_index();
+        // For every vertex between two cone members, membership.
+        for v in ts.graph().op_ids() {
+            if cone.contains(&v) {
+                continue;
+            }
+            let above = cone.iter().any(|&u| idx.reaches(u.index(), v.index()));
+            let below = cone.iter().any(|&u| idx.reaches(v.index(), u.index()));
+            assert!(
+                !(above && below),
+                "{v} lies between cone members but is not in the cone"
+            );
+        }
+    }
+}

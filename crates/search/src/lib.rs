@@ -1,0 +1,63 @@
+//! Parallel portfolio scheduling with feedback-guided refinement.
+//!
+//! The paper's Section 5 (and our Figure 3 reproduction) shows that the
+//! *meta schedule* — the order in which operations are fed to the
+//! online scheduler — swings result quality by one or two control
+//! states even on the small benchmarks, and more on random workloads.
+//! Since the incremental engine made a single `schedule_all` run cheap
+//! (`BENCH_2.json`: ~linear to 100k ops), we can afford to run *many*
+//! meta schedules per design and keep the best. This crate does that,
+//! in two layers:
+//!
+//! * [`portfolio`] — a **parallel portfolio**: the paper's four meta
+//!   schedules plus seeded [`MetaSchedule::Random`] /
+//!   [`MetaSchedule::RandomTopo`] perturbations race on OS threads.
+//!   The runs share an atomic *incumbent* — the best `(diameter,
+//!   candidate)` pair completed so far, packed into one `u64` — and
+//!   every run probes it after each scheduled operation through the
+//!   early-abort hook of `ThreadedScheduler::schedule_all_until`.
+//!   Because the state diameter is monotone under scheduling
+//!   (Lemma 4), a run whose prefix diameter already rules out beating
+//!   the incumbent can abort without changing the result; the packed
+//!   comparison makes the winner *deterministic for a fixed candidate
+//!   set regardless of thread count or timing* (see `DESIGN.md` §7
+//!   for the argument).
+//! * [`cone`] + [`perturb`] — **feedback-guided refinement** in the
+//!   spirit of subgraph-extraction iterative scheduling (Wu et al.,
+//!   arXiv:2401.12343): extract the winner's *critical cone* (the
+//!   operations whose distance `‖←v→‖` is within a slack band of the
+//!   diameter, convex-closed through the chain-cover reachability
+//!   index), re-schedule under seeded permutations of just that cone,
+//!   keep strict improvements, and iterate until no improvement for a
+//!   configured number of rounds.
+//!
+//! # Example
+//!
+//! ```
+//! use hls_ir::{bench_graphs, ResourceSet};
+//! use hls_search::{run_portfolio, PortfolioConfig};
+//!
+//! let g = bench_graphs::ewf();
+//! let resources = ResourceSet::classic(2, 2);
+//! let out = run_portfolio(&g, &resources, &PortfolioConfig::default())?;
+//! // The portfolio can never lose to a single meta schedule it contains.
+//! assert!(out.diameter <= out.initial_diameter);
+//! println!("{} wins with {} states", out.winner_name, out.diameter);
+//! # Ok::<(), threaded_sched::SchedError>(())
+//! ```
+//!
+//! [`MetaSchedule::Random`]: threaded_sched::meta::MetaSchedule::Random
+//! [`MetaSchedule::RandomTopo`]: threaded_sched::meta::MetaSchedule::RandomTopo
+
+#![warn(missing_docs)]
+
+pub mod cone;
+pub mod perturb;
+pub mod portfolio;
+
+pub use cone::critical_cone;
+pub use perturb::{cone_first, perturb_within};
+pub use portfolio::{
+    base_candidates, race, race_workers, run_portfolio, Candidate, OrderSource,
+    PortfolioConfig, PortfolioOutcome, RaceOutcome, RaceWinner, RefineConfig, RunReport,
+};

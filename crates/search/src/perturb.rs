@@ -1,0 +1,137 @@
+//! Cone-local order perturbations — the *alternative orders* half of
+//! the feedback loop.
+//!
+//! A perturbation keeps the winning meta order fixed everywhere except
+//! the critical cone: the positions the cone operations occupy stay
+//! where they are (so the non-critical context is undisturbed), and
+//! the cone operations are permuted among those positions with a
+//! seeded Fisher–Yates shuffle. The online scheduler accepts
+//! non-topological feeds (the correctness condition is enforced by
+//! `select`/`commit`, not by the order), so every perturbation is a
+//! legal candidate; quality is what varies.
+
+use hls_ir::OpId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Derives the per-candidate shuffle seed from the refinement base
+/// seed, the round number and the candidate index — a splitmix-style
+/// avalanche so neighbouring `(round, i)` pairs decorrelate fully.
+pub fn mix_seed(base: u64, round: u64, i: u64) -> u64 {
+    let mut z = base
+        ^ round.rotate_left(32)
+        ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Returns `base` with the operations marked in `in_cone` (indexed by
+/// operation index) permuted among their own positions; everything
+/// else keeps its slot. Deterministic in `(base, in_cone, seed)`.
+///
+/// # Panics
+///
+/// Panics if an operation of `base` indexes past `in_cone`.
+pub fn perturb_within(base: &[OpId], in_cone: &[bool], seed: u64) -> Vec<OpId> {
+    let mut order = base.to_vec();
+    let slots: Vec<usize> = (0..base.len())
+        .filter(|&i| in_cone[base[i].index()])
+        .collect();
+    let mut ops: Vec<OpId> = slots.iter().map(|&i| base[i]).collect();
+    ops.shuffle(&mut StdRng::seed_from_u64(seed));
+    for (&slot, &op) in slots.iter().zip(&ops) {
+        order[slot] = op;
+    }
+    order
+}
+
+/// Returns `base` reordered to feed the cone operations *first* (in
+/// their existing relative order), then everything else. This is the
+/// measured-criticality analogue of the paper's path-based meta
+/// schedule: the operations that drive the current diameter get first
+/// pick of threads and positions, with criticality taken from the
+/// scheduled state (which prices in resource serialisation) instead of
+/// the static longest path. Empirically the strongest single
+/// refinement move on irregular DAGs.
+pub fn cone_first(base: &[OpId], in_cone: &[bool]) -> Vec<OpId> {
+    let mut order: Vec<OpId> = base
+        .iter()
+        .copied()
+        .filter(|v| in_cone[v.index()])
+        .collect();
+    order.extend(base.iter().copied().filter(|v| !in_cone[v.index()]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<OpId> {
+        (0..n).map(OpId::from_index).collect()
+    }
+
+    #[test]
+    fn perturbation_is_a_permutation_that_fixes_non_cone_slots() {
+        let base = ids(10);
+        let mut in_cone = vec![false; 10];
+        for i in [2, 3, 5, 7] {
+            in_cone[i] = true;
+        }
+        let p = perturb_within(&base, &in_cone, 42);
+        // Same multiset.
+        let mut sorted = p.clone();
+        sorted.sort_unstable_by_key(|v| v.index());
+        assert_eq!(sorted, base);
+        // Non-cone slots untouched; cone ops stay within cone slots.
+        for (i, (&b, &q)) in base.iter().zip(&p).enumerate() {
+            if !in_cone[b.index()] {
+                assert_eq!(b, q, "non-cone slot {i} moved");
+            } else {
+                assert!(in_cone[q.index()], "non-cone op entered a cone slot");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_is_seed_stable_and_seed_sensitive() {
+        let base = ids(32);
+        let in_cone = vec![true; 32];
+        assert_eq!(
+            perturb_within(&base, &in_cone, 7),
+            perturb_within(&base, &in_cone, 7)
+        );
+        assert_ne!(
+            perturb_within(&base, &in_cone, 7),
+            perturb_within(&base, &in_cone, 8)
+        );
+    }
+
+    #[test]
+    fn cone_first_prioritises_the_cone_and_keeps_relative_orders() {
+        let base = ids(8);
+        let mut in_cone = vec![false; 8];
+        for i in [1, 4, 6] {
+            in_cone[i] = true;
+        }
+        let o = cone_first(&base, &in_cone);
+        let want: Vec<OpId> = [1, 4, 6, 0, 2, 3, 5, 7]
+            .into_iter()
+            .map(OpId::from_index)
+            .collect();
+        assert_eq!(o, want);
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_neighbours() {
+        let a = mix_seed(1, 1, 1);
+        let b = mix_seed(1, 1, 2);
+        let c = mix_seed(1, 2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a, mix_seed(1, 1, 1), "pure function");
+    }
+}

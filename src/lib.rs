@@ -14,6 +14,9 @@
 //! * [`baselines`] — ASAP, ALAP, list and force-directed scheduling;
 //! * [`alloc`] — lifetimes, left-edge registers, spilling, interconnect;
 //! * [`phys`] — floorplan, simulated-annealing placement, wire delays;
+//! * [`search`] — the parallel portfolio scheduler (meta schedules race
+//!   on OS threads behind an atomic incumbent) with feedback-guided
+//!   critical-cone refinement;
 //! * [`flow`] — the end-to-end flow producing an FSMD and RTL skeleton.
 //!
 //! ## Quickstart
@@ -40,4 +43,5 @@ pub use hls_flow as flow;
 pub use hls_ir as ir;
 pub use hls_lang as lang;
 pub use hls_phys as phys;
+pub use hls_search as search;
 pub use threaded_sched as sched;

@@ -7,6 +7,7 @@ use soft_hls::ir::{bench_graphs, DelayModel, OpKind, ResourceClass, ResourceSet}
 use soft_hls::lang::compile;
 use soft_hls::phys::WireModel;
 use soft_hls::sched::{meta::MetaSchedule, ThreadedScheduler};
+use soft_hls::search::{run_portfolio, PortfolioConfig};
 
 const DIFFEQ: &str = "
     input x, dx, u, y, a;
@@ -135,4 +136,61 @@ fn conditional_source_resolves_phis_in_the_flow() {
     // The φ became a move or vanished; either way the schedule validates
     // (checked inside the flow) and the FSMD covers it.
     assert_eq!(out.fsmd.microops.len(), out.scheduler.graph().len());
+}
+
+#[test]
+fn portfolio_scheduled_flow_produces_consistent_hardware() {
+    // The full pipeline with the parallel portfolio + feedback
+    // refinement in the scheduling seat: the winner state must carry
+    // through spilling, φ resolution, placement and FSMD extraction
+    // exactly like a single-meta schedule does.
+    let config = FlowConfig {
+        resources: ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1),
+        register_budget: Some(4),
+        grid: (3, 2),
+        portfolio: Some(PortfolioConfig {
+            threads: 2,
+            ..PortfolioConfig::default()
+        }),
+        ..FlowConfig::default()
+    };
+    let out = run_flow_source(DIFFEQ, &config).expect("portfolio flow runs");
+    assert!(out.report.final_states >= out.report.initial_states);
+    assert_eq!(out.fsmd.states, out.report.final_states);
+    out.scheduler.check_invariants().unwrap();
+    // The portfolio's soft schedule is never longer than the default
+    // single-meta flow on the same design.
+    let single = run_flow_source(
+        DIFFEQ,
+        &FlowConfig {
+            resources: ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1),
+            register_budget: Some(4),
+            grid: (3, 2),
+            ..FlowConfig::default()
+        },
+    )
+    .expect("single-meta flow runs");
+    assert!(out.report.initial_states <= single.report.initial_states);
+}
+
+#[test]
+fn portfolio_winner_supports_further_refinement() {
+    // The winner is a live soft scheduler: post-portfolio ECO
+    // refinement (the paper's Figure 1 scenario) must keep working on
+    // it, including the incremental reach-index repair.
+    let g = bench_graphs::ewf();
+    let r = ResourceSet::classic(2, 2);
+    let out = run_portfolio(&g, &r, &PortfolioConfig::default()).expect("portfolio runs");
+    let mut ts = out.winner;
+    let before = ts.diameter();
+    let edges: Vec<_> = ts.graph().edges().collect();
+    let (from, to) = edges[0];
+    ts.refine_splice(
+        from,
+        to,
+        [(OpKind::WireDelay, 1, "w".to_string())],
+    )
+    .expect("splice onto the winner state");
+    assert!(ts.diameter() >= before);
+    ts.check_invariants().unwrap();
 }
