@@ -14,6 +14,9 @@
 //! * [`portfolio`] — the parallel portfolio + feedback refinement study
 //!   (BENCH_3): quality vs the best single meta, wall time vs thread
 //!   count under the early-abort protocol;
+//! * [`modulo`] — the loop-pipelining study (BENCH_4): achieved II vs
+//!   the certified `MII = max(ResMII, RecMII)` across loop kernels ×
+//!   resource allocations, with the per-cell gap and wall time;
 //! * [`mem`] — the byte-counting global allocator behind the memory
 //!   column of the scaling study.
 //!
@@ -27,6 +30,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod mem;
 pub mod meta_ablation;
+pub mod modulo;
 pub mod portfolio;
 
 /// Renders a plain-text table: header row plus aligned data rows.

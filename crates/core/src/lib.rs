@@ -19,6 +19,11 @@
 //!   implementation the paper describes and rejects; retained as the
 //!   optimality oracle (Theorem 2) and the complexity baseline
 //!   (Theorem 3).
+//! * [`modulo`] — loop pipelining as soft scheduling: the
+//!   [`ModuloScheduler`] reads time modulo an initiation interval
+//!   (wrap-around unit reservation, recurrence-aware precedence over
+//!   distance-carrying edges) and searches IIs upward from the
+//!   certified `MII = max(ResMII, RecMII)` bound.
 //! * [`refine`] — the soft-scheduling payoff (Section 1 / Figure 1):
 //!   absorbing spill code, SSA move resolution and post-layout wire
 //!   delays into an existing schedule *without* re-running scheduling,
@@ -46,12 +51,14 @@
 
 pub mod exhaustive;
 pub mod meta;
+pub mod modulo;
 pub mod reference;
 pub mod refine;
 pub mod soft;
 mod threaded;
 
 pub use exhaustive::ExhaustiveScheduler;
+pub use modulo::{ModuloOutcome, ModuloScheduler};
 pub use reference::ReferenceScheduler;
 pub use soft::{OnlineScheduler, StateSnapshot};
 pub use threaded::{Placement, RunOutcome, ThreadedScheduler};
@@ -75,6 +82,9 @@ pub enum SchedError {
     WouldCycle(OpId),
     /// The baseline scheduler used by a meta schedule failed.
     Baseline(String),
+    /// No modulo schedule exists (or was found within the eviction
+    /// budget) at this initiation interval; the II search moves on.
+    IiInfeasible(u64),
 }
 
 impl fmt::Display for SchedError {
@@ -90,6 +100,9 @@ impl fmt::Display for SchedError {
                 write!(f, "refinement around operation {v} would create a cycle")
             }
             SchedError::Baseline(msg) => write!(f, "baseline scheduler failed: {msg}"),
+            SchedError::IiInfeasible(ii) => {
+                write!(f, "no modulo schedule at initiation interval {ii}")
+            }
         }
     }
 }

@@ -28,6 +28,21 @@ pub struct FlowConfig {
     /// winner's state. The result is deterministic for a fixed
     /// configuration regardless of the portfolio's thread count.
     pub portfolio: Option<hls_search::PortfolioConfig>,
+    /// When set, the behavior is treated as a *loop kernel*: the
+    /// modulo portfolio ([`hls_search::run_modulo_portfolio`]) derives
+    /// a loop-pipelined schedule first — achieved II, certified MII
+    /// and fill latency land in [`FlowReport::pipeline`], the winning
+    /// [`hls_ir::ModuloSchedule`] in [`FlowOutcome::modulo`] — and the
+    /// rest of the flow (registers, placement, FSMD) proceeds on the
+    /// one-iteration [`kernel DAG`](PrecedenceGraph::kernel_dag).
+    /// Behaviors without loop-carried edges are legal too (the kernel
+    /// DAG is then the behavior itself and the II is purely
+    /// resource-bound). `None` keeps the acyclic-only flow: a graph
+    /// carrying loop edges is rejected with
+    /// [`FlowError::NeedsPipeline`] (the acyclic scheduler would
+    /// silently misread inter-iteration dependencies as
+    /// same-iteration ones).
+    pub pipeline: Option<hls_search::PipelineConfig>,
     /// Floorplan grid (width, height); must fit `resources.k()` cells.
     pub grid: (usize, usize),
     /// Interconnect delay model.
@@ -45,6 +60,7 @@ impl Default for FlowConfig {
             register_budget: None,
             meta: MetaSchedule::ListBased,
             portfolio: None,
+            pipeline: None,
             grid: (2, 2),
             wire_model: WireModel::default(),
             place: PlaceConfig::default(),
@@ -53,9 +69,25 @@ impl Default for FlowConfig {
     }
 }
 
+/// Loop-pipelining quantities reported when [`FlowConfig::pipeline`]
+/// is set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Achieved initiation interval (steady-state steps per
+    /// iteration).
+    pub ii: u64,
+    /// The certified lower bound `max(ResMII, RecMII)`; `ii == mii`
+    /// is provably throughput-optimal.
+    pub mii: u64,
+    /// Single-iteration latency (pipeline fill depth).
+    pub latency: u64,
+}
+
 /// Quantities reported by the flow.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlowReport {
+    /// Loop-pipelining results, when the pipeline seat was configured.
+    pub pipeline: Option<PipelineReport>,
     /// Diameter right after soft scheduling.
     pub initial_states: u64,
     /// Spills absorbed.
@@ -77,6 +109,10 @@ pub struct FlowReport {
 /// Everything the flow produces.
 #[derive(Clone, Debug)]
 pub struct FlowOutcome {
+    /// The winning loop-pipelined schedule of the original kernel,
+    /// when [`FlowConfig::pipeline`] was set (it validates under
+    /// `hls_ir::schedule::check_modulo` against the input behavior).
+    pub modulo: Option<hls_ir::ModuloSchedule>,
     /// The soft scheduler holding the final refined state (and the
     /// refined behavior graph).
     pub scheduler: ThreadedScheduler,
@@ -95,6 +131,10 @@ pub struct FlowOutcome {
 /// Errors of the end-to-end flow.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FlowError {
+    /// The behavior carries loop-carried (positive-distance) edges
+    /// but [`FlowConfig::pipeline`] is not set — the acyclic flow
+    /// would drop the inter-iteration semantics.
+    NeedsPipeline,
     /// The front end rejected the source.
     Lang(hls_lang::LangError),
     /// The scheduler failed.
@@ -108,6 +148,10 @@ pub enum FlowError {
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FlowError::NeedsPipeline => write!(
+                f,
+                "behavior has loop-carried edges; set FlowConfig::pipeline to schedule it"
+            ),
             FlowError::Lang(e) => write!(f, "front end: {e}"),
             FlowError::Sched(e) => write!(f, "scheduler: {e}"),
             FlowError::Invalid(msg) => write!(f, "invalid extracted schedule: {msg}"),
@@ -146,6 +190,32 @@ pub fn run_flow_source(source: &str, config: &FlowConfig) -> Result<FlowOutcome,
 ///
 /// Any [`FlowError`].
 pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    // 0. Loop pipelining: modulo-schedule the kernel (acyclic
+    // behaviors are kernels without recurrences), then hand the
+    // one-iteration kernel DAG to the rest of the flow. Without the
+    // pipeline seat, a graph with loop edges fails scheduling
+    // validation below, exactly as before.
+    let mut pipeline = None;
+    let mut modulo = None;
+    let graph = match &config.pipeline {
+        Some(pcfg) => {
+            let out = hls_search::run_modulo_portfolio(&graph, &config.resources, pcfg)?;
+            pipeline = Some(PipelineReport {
+                ii: out.ii,
+                mii: out.mii,
+                latency: out.latency,
+            });
+            modulo = Some(out.schedule);
+            graph.kernel_dag()
+        }
+        None => {
+            if graph.has_loop_edges() {
+                return Err(FlowError::NeedsPipeline);
+            }
+            graph
+        }
+    };
+
     // 1. Soft scheduling — a single meta order, or the parallel
     // portfolio + feedback refinement when configured.
     let mut ts = match &config.portfolio {
@@ -247,6 +317,7 @@ pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutco
     let fsmd = crate::Fsmd::build(ts.graph(), &schedule, &registers, &config.resources);
 
     let report = FlowReport {
+        pipeline,
         initial_states,
         spills,
         phis_to_moves,
@@ -257,6 +328,7 @@ pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutco
         wirelength,
     };
     Ok(FlowOutcome {
+        modulo,
         scheduler: ts,
         schedule,
         registers,
@@ -315,6 +387,53 @@ mod tests {
         let out = run_flow(bench_graphs::ewf(), &cfg).unwrap();
         assert!(out.report.wire_delays > 0);
         assert!(out.report.final_states >= out.report.initial_states);
+    }
+
+    #[test]
+    fn pipeline_seat_runs_the_cyclic_kernel_through_the_flow() {
+        use hls_ir::schedule::check_modulo;
+        let g = bench_graphs::mac_loop();
+        let cfg = FlowConfig {
+            resources: ResourceSet::classic(1, 1).with(ResourceClass::MemPort, 1),
+            pipeline: Some(hls_search::PipelineConfig::default()),
+            ..FlowConfig::default()
+        };
+        // Without the pipeline seat a loop-carrying behavior is
+        // rejected — even an *acyclic* one like the FIR delay line,
+        // whose inter-iteration edges the acyclic scheduler would
+        // silently misread as same-iteration.
+        let acyclic_only = FlowConfig {
+            pipeline: None,
+            ..cfg.clone()
+        };
+        assert_eq!(
+            run_flow(g.clone(), &acyclic_only).unwrap_err(),
+            FlowError::NeedsPipeline
+        );
+        assert_eq!(
+            run_flow(bench_graphs::fir_loop(4), &acyclic_only).unwrap_err(),
+            FlowError::NeedsPipeline
+        );
+        let out = run_flow(g.clone(), &cfg).unwrap();
+        let p = out.report.pipeline.expect("pipeline seat reports");
+        assert_eq!(p.ii, p.mii, "MAC pipelines at the certified bound");
+        let ms = out.modulo.expect("modulo schedule kept");
+        assert_eq!(check_modulo(&g, &cfg.resources, &ms), Ok(()));
+        // Downstream hardware came from the one-iteration kernel DAG.
+        assert_eq!(out.fsmd.microops.len(), out.scheduler.graph().len());
+        out.scheduler.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pipeline_seat_accepts_acyclic_behaviors() {
+        let cfg = FlowConfig {
+            pipeline: Some(hls_search::PipelineConfig::default()),
+            ..FlowConfig::default()
+        };
+        let out = run_flow_source(HAL_SRC, &cfg).unwrap();
+        let p = out.report.pipeline.expect("reported");
+        assert_eq!(p.mii, p.ii);
+        assert!(p.latency >= p.ii || p.ii == 1);
     }
 
     #[test]

@@ -23,6 +23,8 @@ mod flow;
 mod fsmd;
 pub mod sim;
 
-pub use flow::{run_flow, run_flow_source, FlowConfig, FlowError, FlowOutcome, FlowReport};
+pub use flow::{
+    run_flow, run_flow_source, FlowConfig, FlowError, FlowOutcome, FlowReport, PipelineReport,
+};
 pub use fsmd::{Fsmd, MicroOp};
 pub use sim::{eval_dfg, simulate_datapath, synth_inputs, SimError};

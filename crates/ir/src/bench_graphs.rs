@@ -6,6 +6,11 @@
 //! (op mixes, dependence shapes, classical delay model `mul = 2`,
 //! `add/sub/cmp = 1`). `EXPERIMENTS.md` records where the resulting
 //! schedule lengths deviate from the paper's table.
+//!
+//! Beyond the paper's acyclic set, [`loops`] collects classic *loop
+//! kernels* whose edges carry inter-iteration distances ([`mac_loop`],
+//! [`fir_loop`], [`iir_biquad`], [`gcd_loop`]) — the loop-pipelining
+//! workload of BENCH_4.
 
 use crate::{DelayModel, OpId, OpKind, PrecedenceGraph};
 
@@ -232,6 +237,149 @@ pub fn all() -> Vec<(&'static str, PrecedenceGraph)> {
     vec![("HAL", hal()), ("AR", ar()), ("EF", ewf()), ("FIR", fir())]
 }
 
+// ---------------------------------------------------------------------
+// Loop kernels (positive-distance edges; scheduled by the modulo
+// scheduler, `threaded_sched::ModuloScheduler`).
+// ---------------------------------------------------------------------
+
+/// Dot-product / MAC loop: `s += a[i] * b[i]` — two loads feed a
+/// multiply feeding the accumulator add, which recurs on itself at
+/// distance 1. The archetypal memory-bound kernel: RecMII is 1 (the
+/// 1-cycle add), so the achievable II is set by the memory ports.
+pub fn mac_loop() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(4);
+    let la = g.add_op(OpKind::Load, dm.delay_of(OpKind::Load), "ld_a");
+    let lb = g.add_op(OpKind::Load, dm.delay_of(OpKind::Load), "ld_b");
+    let m = g.add_op(OpKind::Mul, dm.delay_of(OpKind::Mul), "mul");
+    let acc = g.add_op(OpKind::Add, dm.delay_of(OpKind::Add), "acc");
+    g.add_edge(la, m).unwrap();
+    g.add_edge(lb, m).unwrap();
+    g.add_edge(m, acc).unwrap();
+    g.add_dep_edge(acc, acc, 1).unwrap();
+    g
+}
+
+/// A `taps`-tap transposed FIR loop: the sample delay line is a chain
+/// of register moves carried across iterations (`x[n-k]` edges at
+/// distance 1), each tap multiplies its coefficient, and an adder
+/// chain folds the products. No recurrence cycle — RecMII stays 1 —
+/// so the kernel isolates the *resource* side of the MII bound
+/// (multipliers and the memory port).
+///
+/// # Panics
+///
+/// Panics if `taps < 2`.
+pub fn fir_loop(taps: usize) -> PrecedenceGraph {
+    assert!(taps >= 2, "a FIR needs at least two taps");
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(3 * taps);
+    let x = g.add_op(OpKind::Load, dm.delay_of(OpKind::Load), "x");
+    // Delay line: tap k holds x[n-k].
+    let mut line = Vec::with_capacity(taps);
+    line.push(x);
+    for k in 1..taps {
+        let t = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), format!("z{k}"));
+        g.add_dep_edge(line[k - 1], t, 1).unwrap();
+        line.push(t);
+    }
+    // Coefficient products and the folding adder chain.
+    let mut sum: Option<OpId> = None;
+    for (k, &t) in line.iter().enumerate() {
+        let m = g.add_op(OpKind::Mul, dm.delay_of(OpKind::Mul), format!("m{k}"));
+        g.add_edge(t, m).unwrap();
+        sum = Some(match sum {
+            None => m,
+            Some(s) => {
+                let a = g.add_op(OpKind::Add, dm.delay_of(OpKind::Add), format!("s{k}"));
+                g.add_edge(s, a).unwrap();
+                g.add_edge(m, a).unwrap();
+                a
+            }
+        });
+    }
+    g
+}
+
+/// A direct-form-II IIR biquad: `y[n] = b0·x + b1·x[n-1] + b2·x[n-2]
+/// − a1·y[n-1] − a2·y[n-2]`. The feedback taps close true recurrence
+/// cycles (`y → y[n-1] → a1-product → subtract → y` at distance 1),
+/// so RecMII — 5 under the classic delay model — dominates any
+/// reasonable allocation: the latency-bound counterpart to
+/// [`fir_loop`].
+pub fn iir_biquad() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mul = dm.delay_of(OpKind::Mul);
+    let mut g = PrecedenceGraph::with_capacity(13);
+    let x = g.add_op(OpKind::Load, dm.delay_of(OpKind::Load), "x");
+    let x1 = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), "x1");
+    let x2 = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), "x2");
+    g.add_dep_edge(x, x1, 1).unwrap();
+    g.add_dep_edge(x1, x2, 1).unwrap();
+    let m0 = g.add_op(OpKind::Mul, mul, "b0x");
+    let m1 = g.add_op(OpKind::Mul, mul, "b1x1");
+    let m2 = g.add_op(OpKind::Mul, mul, "b2x2");
+    g.add_edge(x, m0).unwrap();
+    g.add_edge(x1, m1).unwrap();
+    g.add_edge(x2, m2).unwrap();
+    let y1 = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), "y1");
+    let y2 = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), "y2");
+    let ma1 = g.add_op(OpKind::Mul, mul, "a1y1");
+    let ma2 = g.add_op(OpKind::Mul, mul, "a2y2");
+    g.add_edge(y1, ma1).unwrap();
+    g.add_edge(y2, ma2).unwrap();
+    let add1 = g.add_op(OpKind::Add, 1, "fwd1");
+    let add2 = g.add_op(OpKind::Add, 1, "fwd2");
+    g.add_edge(m0, add1).unwrap();
+    g.add_edge(m1, add1).unwrap();
+    g.add_edge(add1, add2).unwrap();
+    g.add_edge(m2, add2).unwrap();
+    let sub1 = g.add_op(OpKind::Sub, 1, "fb1");
+    let y = g.add_op(OpKind::Sub, 1, "y");
+    g.add_edge(add2, sub1).unwrap();
+    g.add_edge(ma1, sub1).unwrap();
+    g.add_edge(sub1, y).unwrap();
+    g.add_edge(ma2, y).unwrap();
+    // Feedback taps: next iteration's y1 is this iteration's y.
+    g.add_dep_edge(y, y1, 1).unwrap();
+    g.add_dep_edge(y1, y2, 1).unwrap();
+    g
+}
+
+/// A GCD-style data-dependent recurrence: compare and subtract the
+/// running pair, the subtract result becoming next iteration's
+/// operand (`a' = a − b` at distance 1, with the pair swap riding a
+/// second distance-1 move edge). A tiny, control-flavoured kernel
+/// whose 2-op recurrence cycle gives RecMII 2 under unit ALU delays.
+pub fn gcd_loop() -> PrecedenceGraph {
+    let dm = DelayModel::classic();
+    let mut g = PrecedenceGraph::with_capacity(4);
+    let ma = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), "a");
+    let mb = g.add_op(OpKind::Move, dm.delay_of(OpKind::Move), "b");
+    let c = g.add_op(OpKind::Cmp, dm.delay_of(OpKind::Cmp), "a<b");
+    let s = g.add_op(OpKind::Sub, dm.delay_of(OpKind::Sub), "a-b");
+    g.add_edge(ma, c).unwrap();
+    g.add_edge(mb, c).unwrap();
+    g.add_edge(ma, s).unwrap();
+    g.add_edge(mb, s).unwrap();
+    // Next iteration: a' = a − b, b' = old a (Euclid with a swap).
+    g.add_dep_edge(s, ma, 1).unwrap();
+    g.add_dep_edge(ma, mb, 1).unwrap();
+    g
+}
+
+/// The classic loop-pipelining kernels: a memory-bound MAC, a
+/// resource-bound FIR, the latency-bound IIR biquad and the
+/// control-flavoured GCD recurrence.
+pub fn loops() -> Vec<(&'static str, PrecedenceGraph)> {
+    vec![
+        ("MAC", mac_loop()),
+        ("FIR8", fir_loop(8)),
+        ("BIQUAD", iir_biquad()),
+        ("GCD", gcd_loop()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +457,47 @@ mod tests {
             assert!(g.validate().is_ok());
             assert!(!g.is_empty());
         }
+    }
+
+    #[test]
+    fn loop_kernels_are_valid_kernels_with_loop_edges() {
+        for (name, g) in loops() {
+            assert!(g.has_loop_edges(), "{name} must carry a loop edge");
+            assert!(g.validate_kernel().is_ok(), "{name} kernel DAG cyclic");
+            assert!(g.kernel_dag().validate().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn mac_and_gcd_close_recurrence_cycles() {
+        // The MAC accumulator recurs on itself; the flat graph is
+        // cyclic while the kernel is not.
+        let mac = mac_loop();
+        assert!(mac.validate().is_err());
+        assert!(mac.validate_kernel().is_ok());
+        let gcd = gcd_loop();
+        assert!(gcd.validate().is_err());
+        assert_eq!(gcd.len(), 4);
+    }
+
+    #[test]
+    fn fir_loop_shape_scales_with_taps() {
+        let g = fir_loop(8);
+        assert_eq!(count(&g, OpKind::Mul), 8);
+        assert_eq!(count(&g, OpKind::Add), 7);
+        assert_eq!(count(&g, OpKind::Move), 7);
+        // The delay line is loop-carried but acyclic: distances only
+        // push values forward in time.
+        assert!(g.has_loop_edges());
+        assert!(g.validate_kernel().is_ok());
+    }
+
+    #[test]
+    fn biquad_mixes_feedforward_and_feedback_taps() {
+        let g = iir_biquad();
+        assert_eq!(count(&g, OpKind::Mul), 5);
+        assert_eq!(g.max_distance(), 1);
+        assert!(g.validate().is_err(), "feedback closes a cycle");
+        assert!(g.validate_kernel().is_ok());
     }
 }

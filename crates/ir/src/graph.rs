@@ -75,7 +75,16 @@ pub struct PrecedenceGraph {
     ops: Vec<OpData>,
     preds: Vec<Vec<OpId>>,
     succs: Vec<Vec<OpId>>,
+    /// Inter-iteration distance of each outgoing edge, parallel to
+    /// `succs`. Distance 0 is an ordinary intra-iteration dependency;
+    /// a positive distance `d` means the consumer reads the value the
+    /// producer computed `d` loop iterations earlier (a loop-carried
+    /// dependency). Graphs whose every edge has distance 0 behave
+    /// exactly as before this field existed.
+    succ_dist: Vec<Vec<u32>>,
     edge_count: usize,
+    /// Number of edges with positive distance.
+    loop_edge_count: usize,
 }
 
 impl PrecedenceGraph {
@@ -90,7 +99,9 @@ impl PrecedenceGraph {
             ops: Vec::with_capacity(n),
             preds: Vec::with_capacity(n),
             succs: Vec::with_capacity(n),
+            succ_dist: Vec::with_capacity(n),
             edge_count: 0,
+            loop_edge_count: 0,
         }
     }
 
@@ -120,6 +131,7 @@ impl PrecedenceGraph {
         });
         self.preds.push(Vec::new());
         self.succs.push(Vec::new());
+        self.succ_dist.push(Vec::new());
         id
     }
 
@@ -135,7 +147,8 @@ impl PrecedenceGraph {
         &self.ops[v.index()].operands
     }
 
-    /// Adds a dependency edge `from -> to`.
+    /// Adds an intra-iteration dependency edge `from -> to`
+    /// (distance 0).
     ///
     /// Duplicate edges are ignored (the graph stays simple).
     ///
@@ -146,17 +159,53 @@ impl PrecedenceGraph {
     /// *not* checked here (it would be quadratic over a build); call
     /// [`PrecedenceGraph::validate`] once after construction.
     pub fn add_edge(&mut self, from: OpId, to: OpId) -> Result<(), IrError> {
-        if from == to {
+        self.add_dep_edge(from, to, 0)
+    }
+
+    /// Adds a dependency edge `from -> to` with an inter-iteration
+    /// `distance`: the value `to` consumes is the one `from` produced
+    /// `distance` loop iterations earlier. Distance 0 is the ordinary
+    /// same-iteration edge of [`PrecedenceGraph::add_edge`]; a positive
+    /// distance makes the edge *loop-carried* and legal to close a
+    /// recurrence cycle (the cycle's distance sum bounds the initiation
+    /// interval from below — see `hls_ir::schedule::check_modulo`).
+    ///
+    /// If the edge already exists the *smaller* distance wins: it is
+    /// the tighter precedence constraint (`t(to) ≥ t(from) + delay −
+    /// II·distance`), so keeping it preserves every schedule the pair
+    /// of edges would have admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::SelfEdge`] for a *distance-0* self edge
+    /// (`x[i] = f(x[i])` is not computable; `from == to` is legal for
+    /// `distance ≥ 1`, the accumulator recurrence) and
+    /// [`IrError::UnknownOp`] for out-of-range endpoints. Whether the
+    /// distance-0 subgraph stays acyclic is *not* checked here; call
+    /// [`PrecedenceGraph::validate_kernel`] once after construction.
+    pub fn add_dep_edge(&mut self, from: OpId, to: OpId, distance: u32) -> Result<(), IrError> {
+        if from == to && distance == 0 {
             return Err(IrError::SelfEdge(from));
         }
         self.check(from)?;
         self.check(to)?;
-        if self.succs[from.index()].contains(&to) {
+        if let Some(i) = self.succs[from.index()].iter().position(|&s| s == to) {
+            let old = self.succ_dist[from.index()][i];
+            if distance < old {
+                self.succ_dist[from.index()][i] = distance;
+                if old > 0 && distance == 0 {
+                    self.loop_edge_count -= 1;
+                }
+            }
             return Ok(());
         }
         self.succs[from.index()].push(to);
+        self.succ_dist[from.index()].push(distance);
         self.preds[to.index()].push(from);
         self.edge_count += 1;
+        if distance > 0 {
+            self.loop_edge_count += 1;
+        }
         Ok(())
     }
 
@@ -173,6 +222,10 @@ impl PrecedenceGraph {
             None => Err(IrError::MissingEdge(from, to)),
             Some(i) => {
                 self.succs[from.index()].swap_remove(i);
+                let d = self.succ_dist[from.index()].swap_remove(i);
+                if d > 0 {
+                    self.loop_edge_count -= 1;
+                }
                 let j = self.preds[to.index()]
                     .iter()
                     .position(|&p| p == from)
@@ -187,6 +240,111 @@ impl PrecedenceGraph {
     /// `true` if the edge `from -> to` exists.
     pub fn has_edge(&self, from: OpId, to: OpId) -> bool {
         from.index() < self.len() && self.succs[from.index()].contains(&to)
+    }
+
+    /// The inter-iteration distance of the edge `from -> to`, or `None`
+    /// if the edge does not exist.
+    pub fn dist(&self, from: OpId, to: OpId) -> Option<u32> {
+        if from.index() >= self.len() {
+            return None;
+        }
+        self.succs[from.index()]
+            .iter()
+            .position(|&s| s == to)
+            .map(|i| self.succ_dist[from.index()][i])
+    }
+
+    /// Iterator over all edges as `(from, to, distance)` triples.
+    pub fn edges_dist(&self) -> DistEdgeIter<'_> {
+        DistEdgeIter {
+            graph: self,
+            from: 0,
+            offset: 0,
+        }
+    }
+
+    /// `true` if any edge carries a positive inter-iteration distance —
+    /// the graph describes a loop body rather than a straight-line
+    /// block, and only the modulo scheduler can honour it.
+    pub fn has_loop_edges(&self) -> bool {
+        self.loop_edge_count > 0
+    }
+
+    /// The largest inter-iteration distance of any edge (0 for a plain
+    /// DAG). Bounds the unroll depth a flat simulation of the loop
+    /// needs before reaching steady state.
+    pub fn max_distance(&self) -> u32 {
+        self.succ_dist
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The *kernel DAG*: the same operations with only the distance-0
+    /// (intra-iteration) edges. This is the acyclic one-iteration view
+    /// that meta schedules, the threaded scheduler and the downstream
+    /// flow operate on; the loop-carried edges it drops are exactly the
+    /// ones only `t mod II` scheduling can honour. For a graph without
+    /// loop edges this is a plain copy.
+    pub fn kernel_dag(&self) -> PrecedenceGraph {
+        let mut g = PrecedenceGraph::with_capacity(self.len());
+        for v in self.op_ids() {
+            let id = g.add_op(self.kind(v), self.delay(v), self.label(v));
+            debug_assert_eq!(id, v);
+            g.set_operands(id, self.operands(v).to_vec());
+        }
+        for (from, to, d) in self.edges_dist() {
+            if d == 0 {
+                g.add_edge(from, to).expect("ids copied verbatim");
+            }
+        }
+        g
+    }
+
+    /// Checks that the graph is a well-formed *loop kernel*: every
+    /// cycle must pass through at least one positive-distance edge —
+    /// equivalently, the distance-0 subgraph (the
+    /// [`kernel DAG`](PrecedenceGraph::kernel_dag)) is acyclic. Plain
+    /// DAGs trivially pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Cycle`] carrying one vertex on a distance-0
+    /// cycle.
+    pub fn validate_kernel(&self) -> Result<(), IrError> {
+        // Kahn's algorithm over the distance-0 subgraph.
+        let mut indeg = vec![0usize; self.len()];
+        for (_, to, d) in self.edges_dist() {
+            if d == 0 {
+                indeg[to.index()] += 1;
+            }
+        }
+        let mut ready: Vec<OpId> = self
+            .op_ids()
+            .filter(|&v| indeg[v.index()] == 0)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(v) = ready.pop() {
+            seen += 1;
+            for (i, &q) in self.succs[v.index()].iter().enumerate() {
+                if self.succ_dist[v.index()][i] == 0 {
+                    indeg[q.index()] -= 1;
+                    if indeg[q.index()] == 0 {
+                        ready.push(q);
+                    }
+                }
+            }
+        }
+        if seen == self.len() {
+            Ok(())
+        } else {
+            let v = self
+                .op_ids()
+                .find(|&v| indeg[v.index()] > 0)
+                .expect("some vertex is on the cycle");
+            Err(IrError::Cycle(v))
+        }
     }
 
     /// Splices a chain of new operations onto the edge `from -> to`,
@@ -215,10 +373,16 @@ impl PrecedenceGraph {
         if ids.is_empty() {
             return Ok(ids);
         }
+        // A loop-carried edge keeps its distance on the first hop: the
+        // producer's value of iteration `i` enters the spliced chain,
+        // and the chain itself is same-iteration from there on.
+        let carried = self.dist(from, to).expect("edge checked above");
         self.remove_edge(from, to)?;
         let mut prev = from;
+        let mut first = true;
         for &v in &ids {
-            self.add_edge(prev, v)?;
+            self.add_dep_edge(prev, v, if first { carried } else { 0 })?;
+            first = false;
             // Pass-through value semantics for the inserted chain.
             self.ops[v.index()].operands = vec![Operand::Op(prev)];
             prev = v;
@@ -382,6 +546,37 @@ impl Iterator for EdgeIter<'_> {
             let succs = &self.graph.succs[self.from];
             if self.offset < succs.len() {
                 let e = (OpId::from_index(self.from), succs[self.offset]);
+                self.offset += 1;
+                return Some(e);
+            }
+            self.from += 1;
+            self.offset = 0;
+        }
+        None
+    }
+}
+
+/// Iterator over `(from, to, distance)` triples, returned by
+/// [`PrecedenceGraph::edges_dist`].
+#[derive(Clone, Debug)]
+pub struct DistEdgeIter<'a> {
+    graph: &'a PrecedenceGraph,
+    from: usize,
+    offset: usize,
+}
+
+impl Iterator for DistEdgeIter<'_> {
+    type Item = (OpId, OpId, u32);
+
+    fn next(&mut self) -> Option<(OpId, OpId, u32)> {
+        while self.from < self.graph.len() {
+            let succs = &self.graph.succs[self.from];
+            if self.offset < succs.len() {
+                let e = (
+                    OpId::from_index(self.from),
+                    succs[self.offset],
+                    self.graph.succ_dist[self.from][self.offset],
+                );
                 self.offset += 1;
                 return Some(e);
             }
@@ -558,6 +753,87 @@ mod tests {
         let it = g.op_ids();
         assert_eq!(it.len(), 4);
         assert_eq!(it.collect::<Vec<_>>().len(), 4);
+    }
+
+    #[test]
+    fn distance_edges_default_to_zero() {
+        let (g, [a, b, ..]) = diamond();
+        assert_eq!(g.dist(a, b), Some(0));
+        assert_eq!(g.dist(b, a), None);
+        assert!(!g.has_loop_edges());
+        assert_eq!(g.max_distance(), 0);
+        assert!(g.edges_dist().all(|(_, _, d)| d == 0));
+    }
+
+    #[test]
+    fn loop_carried_edge_closes_a_legal_cycle() {
+        let (mut g, [a, _, _, d]) = diamond();
+        g.add_dep_edge(d, a, 1).unwrap();
+        assert!(g.has_loop_edges());
+        assert_eq!(g.dist(d, a), Some(1));
+        assert_eq!(g.max_distance(), 1);
+        // The full graph is cyclic, the kernel is not.
+        assert!(matches!(g.validate(), Err(IrError::Cycle(_))));
+        assert!(g.validate_kernel().is_ok());
+        let kernel = g.kernel_dag();
+        assert_eq!(kernel.len(), g.len());
+        assert_eq!(kernel.edge_count(), 4, "loop edge dropped");
+        assert!(kernel.validate().is_ok());
+    }
+
+    #[test]
+    fn self_recurrence_needs_positive_distance() {
+        let (mut g, [a, ..]) = diamond();
+        assert_eq!(g.add_dep_edge(a, a, 0), Err(IrError::SelfEdge(a)));
+        g.add_dep_edge(a, a, 1).unwrap();
+        assert_eq!(g.dist(a, a), Some(1));
+        assert!(g.validate_kernel().is_ok());
+    }
+
+    #[test]
+    fn duplicate_dep_edge_keeps_the_smaller_distance() {
+        let (mut g, [a, b, _, _]) = diamond();
+        g.add_dep_edge(a, b, 3).unwrap();
+        assert_eq!(g.dist(a, b), Some(0), "existing edge is tighter");
+        let mut h = PrecedenceGraph::new();
+        let x = h.add_op(OpKind::Add, 1, "x");
+        let y = h.add_op(OpKind::Add, 1, "y");
+        h.add_dep_edge(x, y, 4).unwrap();
+        h.add_dep_edge(x, y, 2).unwrap();
+        assert_eq!(h.dist(x, y), Some(2));
+        assert_eq!(h.edge_count(), 1);
+        assert!(h.has_loop_edges());
+        h.add_dep_edge(x, y, 0).unwrap();
+        assert!(!h.has_loop_edges());
+    }
+
+    #[test]
+    fn distance_zero_cycle_fails_kernel_validation() {
+        let (mut g, [a, _, _, d]) = diamond();
+        g.add_dep_edge(d, a, 0).unwrap();
+        assert!(matches!(g.validate_kernel(), Err(IrError::Cycle(_))));
+    }
+
+    #[test]
+    fn splice_preserves_the_carried_distance() {
+        let (mut g, [a, b, _, d]) = diamond();
+        g.add_dep_edge(d, a, 2).unwrap();
+        let ins = g
+            .splice_on_edge(d, a, [(OpKind::WireDelay, 1, "w".to_string())])
+            .unwrap();
+        assert_eq!(g.dist(d, ins[0]), Some(2), "distance rides the first hop");
+        assert_eq!(g.dist(ins[0], a), Some(0));
+        assert!(g.validate_kernel().is_ok());
+        let _ = b;
+    }
+
+    #[test]
+    fn remove_edge_forgets_the_distance() {
+        let (mut g, [a, _, _, d]) = diamond();
+        g.add_dep_edge(d, a, 1).unwrap();
+        g.remove_edge(d, a).unwrap();
+        assert!(!g.has_loop_edges());
+        assert_eq!(g.dist(d, a), None);
     }
 
     #[test]

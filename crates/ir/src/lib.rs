@@ -48,11 +48,11 @@ pub mod sim_operands;
 pub mod textfmt;
 
 pub use bitmatrix::BitMatrix;
-pub use graph::{EdgeIter, OpId, OpIdIter, Operand, PrecedenceGraph};
+pub use graph::{DistEdgeIter, EdgeIter, OpId, OpIdIter, Operand, PrecedenceGraph};
 pub use reach::{ChainExtrema, ReachIndex};
 pub use op::{DelayModel, OpKind, ResourceClass};
 pub use resources::ResourceSet;
-pub use schedule::{HardSchedule, ScheduleError};
+pub use schedule::{HardSchedule, ModuloError, ModuloSchedule, ScheduleError};
 
 use std::error::Error;
 use std::fmt;

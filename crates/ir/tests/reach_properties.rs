@@ -4,7 +4,7 @@
 //! produce), the incrementally grown [`ReachIndex`] must answer every
 //! query exactly like the dense [`BitMatrix`] closure oracle.
 
-use hls_ir::{algo, generate, reach::ReachIndex, DelayModel, OpId, OpKind, PrecedenceGraph};
+use hls_ir::{algo, generate, reach::ReachIndex, DelayModel, PrecedenceGraph};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -78,45 +78,6 @@ fn assert_matches_dense(
     Ok(())
 }
 
-/// Splices a 1–3 op chain onto a random existing edge (the spill /
-/// wire-delay refinement shape). No-op on edgeless graphs.
-fn random_splice(g: &mut PrecedenceGraph, rng: &mut StdRng, tag: usize) {
-    let edges: Vec<(OpId, OpId)> = g.edges().collect();
-    if edges.is_empty() {
-        return;
-    }
-    let (from, to) = edges[rng.random_range(0..edges.len())];
-    let len = rng.random_range(1usize..4);
-    let chain: Vec<(OpKind, u64, String)> = (0..len)
-        .map(|i| (OpKind::WireDelay, 1 + (i as u64 % 2), format!("w{tag}_{i}")))
-        .collect();
-    g.splice_on_edge(from, to, chain).expect("edge was sampled from g.edges()");
-}
-
-/// Adds one new op with random already-existing predecessors and
-/// successors, chosen from disjoint topological prefix/suffix so the
-/// graph stays acyclic (the ECO refinement shape).
-fn random_add_op(g: &mut PrecedenceGraph, rng: &mut StdRng, tag: usize) {
-    let order = algo::topo_order(g).expect("mutated graph stays a DAG");
-    let v = g.add_op(OpKind::Add, 1, format!("eco{tag}"));
-    if order.is_empty() {
-        return;
-    }
-    let cut = rng.random_range(0..order.len());
-    for _ in 0..rng.random_range(0usize..3) {
-        if cut > 0 {
-            let p = order[rng.random_range(0..cut)];
-            let _ = g.add_edge(p, v);
-        }
-    }
-    for _ in 0..rng.random_range(0usize..3) {
-        if cut < order.len() {
-            let q = order[rng.random_range(cut..order.len())];
-            let _ = g.add_edge(v, q);
-        }
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -139,12 +100,14 @@ proptest! {
         let mut g = generate::layered_dag(seed, &cfg);
         let mut idx = ReachIndex::build(&g);
         assert_matches_dense(&idx, &g, "initial")?;
+        // The refinement mutation shapes live in `hls_ir::generate`,
+        // shared with the scheduler invariant fuzz suites.
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
         for m in 0..mutations {
             if rng.random_range(0..2u32) == 0 {
-                random_splice(&mut g, &mut rng, m);
+                generate::random_splice(&mut g, &mut rng, m);
             } else {
-                random_add_op(&mut g, &mut rng, m);
+                generate::random_eco_op(&mut g, &mut rng, m);
             }
             idx.grow(&g);
             assert_matches_dense(&idx, &g, &format!("after mutation {m}"))?;

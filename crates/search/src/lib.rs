@@ -22,6 +22,13 @@
 //!   comparison makes the winner *deterministic for a fixed candidate
 //!   set regardless of thread count or timing* (see `DESIGN.md` §7
 //!   for the argument).
+//! * [`modulo`] — the **modulo portfolio** for loop pipelining: each
+//!   candidate is an *(II, placement order)* pair — initiation
+//!   intervals from the window above the certified
+//!   `MII = max(ResMII, RecMII)` bound crossed with the paper metas
+//!   (resolved over the kernel DAG) — racing behind one packed
+//!   `(II, latency, slot)` incumbent. Completions at the minimum
+//!   feasible II prune every higher-II candidate.
 //! * [`cone`] + [`perturb`] — **feedback-guided refinement** in the
 //!   spirit of subgraph-extraction iterative scheduling (Wu et al.,
 //!   arXiv:2401.12343): extract the winner's *critical cone* (the
@@ -52,10 +59,14 @@
 #![warn(missing_docs)]
 
 pub mod cone;
+pub mod modulo;
 pub mod perturb;
 pub mod portfolio;
 
 pub use cone::critical_cone;
+pub use modulo::{
+    run_modulo_portfolio, ModuloPortfolioOutcome, ModuloRunReport, PipelineConfig,
+};
 pub use perturb::{cone_first, perturb_within};
 pub use portfolio::{
     base_candidates, race, race_workers, run_portfolio, Candidate, OrderSource,

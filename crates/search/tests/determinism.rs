@@ -32,16 +32,9 @@ fn config_with_threads(threads: usize) -> PortfolioConfig {
 #[test]
 fn portfolio_is_deterministic_across_thread_counts() {
     // A mid-size layered DFG — large enough that runs genuinely
-    // overlap and abort mid-flight — plus one paper benchmark.
-    let layered = generate::layered_dag(
-        0xD15C0,
-        &generate::LayeredConfig {
-            ops: 600,
-            width: 24,
-            edge_prob: 0.25,
-            ..generate::LayeredConfig::default()
-        },
-    );
+    // overlap and abort mid-flight — plus one paper benchmark. The
+    // shape is the shared cross-crate stress workload.
+    let layered = generate::stress_dag(0xD15C0, 600);
     let workloads = vec![("layered-600", layered), ("EF", bench_graphs::ewf())];
     let resources = ResourceSet::classic(2, 2);
     for (name, g) in workloads {

@@ -16,7 +16,9 @@
 //! * [`phys`] — floorplan, simulated-annealing placement, wire delays;
 //! * [`search`] — the parallel portfolio scheduler (meta schedules race
 //!   on OS threads behind an atomic incumbent) with feedback-guided
-//!   critical-cone refinement;
+//!   critical-cone refinement, plus the modulo portfolio that races
+//!   meta orders per candidate initiation interval for loop
+//!   pipelining;
 //! * [`flow`] — the end-to-end flow producing an FSMD and RTL skeleton.
 //!
 //! ## Quickstart

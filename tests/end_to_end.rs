@@ -3,11 +3,11 @@
 
 use soft_hls::alloc::{left_edge, lifetimes};
 use soft_hls::flow::{run_flow, run_flow_source, FlowConfig};
-use soft_hls::ir::{bench_graphs, DelayModel, OpKind, ResourceClass, ResourceSet};
+use soft_hls::ir::{bench_graphs, generate, DelayModel, OpKind, ResourceClass, ResourceSet};
 use soft_hls::lang::compile;
 use soft_hls::phys::WireModel;
 use soft_hls::sched::{meta::MetaSchedule, ThreadedScheduler};
-use soft_hls::search::{run_portfolio, PortfolioConfig};
+use soft_hls::search::{run_portfolio, PipelineConfig, PortfolioConfig};
 
 const DIFFEQ: &str = "
     input x, dx, u, y, a;
@@ -171,6 +171,47 @@ fn portfolio_scheduled_flow_produces_consistent_hardware() {
     )
     .expect("single-meta flow runs");
     assert!(out.report.initial_states <= single.report.initial_states);
+}
+
+#[test]
+fn flow_handles_the_shared_stress_workload() {
+    // The same seeded stress shape the search determinism suite races
+    // (hls_ir::generate::stress_dag), scaled down for the full flow's
+    // placement stage.
+    let g = generate::stress_dag(0xD15C0, 150);
+    let cfg = FlowConfig {
+        resources: ResourceSet::classic(3, 2).with(ResourceClass::MemPort, 1),
+        grid: (3, 2),
+        ..FlowConfig::default()
+    };
+    let out = run_flow(g, &cfg).unwrap();
+    assert!(out.report.final_states >= out.report.initial_states);
+    soft_hls::ir::schedule::validate(out.scheduler.graph(), &cfg.resources, &out.schedule)
+        .unwrap();
+    out.scheduler.check_invariants().unwrap();
+}
+
+#[test]
+fn pipelined_flow_reports_a_certified_ii_end_to_end() {
+    // Loop kernels run the modulo portfolio first, then the ordinary
+    // flow on the one-iteration kernel DAG.
+    for (name, g) in bench_graphs::loops() {
+        let cfg = FlowConfig {
+            resources: ResourceSet::classic(2, 2).with(ResourceClass::MemPort, 1),
+            pipeline: Some(PipelineConfig::default()),
+            grid: (3, 2),
+            ..FlowConfig::default()
+        };
+        let out = run_flow(g.clone(), &cfg).unwrap();
+        let p = out.report.pipeline.expect("pipeline seat reports");
+        assert!(p.ii >= p.mii, "{name}: II below certified bound");
+        let ms = out.modulo.expect("modulo schedule kept");
+        assert_eq!(ms.ii(), p.ii, "{name}");
+        soft_hls::ir::schedule::check_modulo(&g, &cfg.resources, &ms)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // The downstream hardware covers the kernel's ops.
+        assert_eq!(out.fsmd.microops.len(), out.scheduler.graph().len());
+    }
 }
 
 #[test]
