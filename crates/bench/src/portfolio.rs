@@ -187,7 +187,8 @@ pub fn thread_sweep(ops: usize, thread_counts: &[usize]) -> SweepStudy {
         .iter()
         .map(|&threads| {
             let t0 = Instant::now();
-            let out = race(&g, &resources, &candidates, threads, None).expect("schedulable");
+            let out = race(&g, &resources, &candidates, threads, None, &hls_ir::Budget::NONE)
+                .expect("schedulable");
             let wall_us = t0.elapsed().as_micros();
             let win = out.best.expect("unbounded race completes");
             let completed = out.reports.iter().filter(|r| r.diameter.is_some()).count();

@@ -67,6 +67,19 @@ use hls_ir::{IrError, OpId, OpKind};
 use std::error::Error;
 use std::fmt;
 
+/// Renders a `catch_unwind` payload as text for
+/// [`SchedError::Poisoned`] — panics carry `&str` or `String`
+/// payloads in practice; anything else gets a generic tag.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Errors produced by the soft schedulers.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SchedError {
@@ -85,6 +98,15 @@ pub enum SchedError {
     /// No modulo schedule exists (or was found within the eviction
     /// budget) at this initiation interval; the II search moves on.
     IiInfeasible(u64),
+    /// The run's [`hls_ir::Budget`] expired (wall deadline or step
+    /// quota) before a complete schedule was committed.
+    Timeout,
+    /// A scheduler (or a racing strategy) panicked mid-commit; its
+    /// state is unusable. The payload names the panic / the strategy.
+    Poisoned(String),
+    /// A capacity limit was exceeded (e.g. the reachability index's
+    /// chain-id space) — the input is too large for this engine.
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for SchedError {
@@ -103,7 +125,16 @@ impl fmt::Display for SchedError {
             SchedError::IiInfeasible(ii) => {
                 write!(f, "no modulo schedule at initiation interval {ii}")
             }
+            SchedError::Timeout => write!(f, "scheduling budget expired"),
+            SchedError::Poisoned(what) => write!(f, "scheduler poisoned: {what}"),
+            SchedError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
         }
+    }
+}
+
+impl From<hls_ir::CapacityError> for SchedError {
+    fn from(e: hls_ir::CapacityError) -> Self {
+        SchedError::ResourceExhausted(e.to_string())
     }
 }
 

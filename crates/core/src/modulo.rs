@@ -156,7 +156,26 @@ impl ModuloScheduler {
     /// [`SchedError::IiInfeasible`] if the eviction budget runs out at
     /// this II (the caller's search loop moves on).
     pub fn schedule_at(&self, ii: u64) -> Result<ModuloSchedule, SchedError> {
-        self.ims(ii, &self.height)
+        self.schedule_at_budgeted(ii, &hls_ir::Budget::NONE)
+    }
+
+    /// [`ModuloScheduler::schedule_at`] under a cooperative
+    /// [`hls_ir::Budget`]: the budget is checked before every placement
+    /// (the modulo analogue of a commit), so the attempt stops within
+    /// one placement of its deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Timeout`] when the budget expires mid-attempt,
+    /// [`SchedError::Poisoned`] if a placement panicked (caught here),
+    /// otherwise as [`ModuloScheduler::schedule_at`].
+    pub fn schedule_at_budgeted(
+        &self,
+        ii: u64,
+        budget: &hls_ir::Budget,
+    ) -> Result<ModuloSchedule, SchedError> {
+        let mut steps = 0u64;
+        self.ims_isolated(ii, &self.height, budget, &mut steps)
     }
 
     /// Attempts one candidate `ii` feeding operations in the priority
@@ -174,6 +193,24 @@ impl ModuloScheduler {
         ii: u64,
         order: &[OpId],
     ) -> Result<ModuloSchedule, SchedError> {
+        self.schedule_at_ordered_budgeted(ii, order, &hls_ir::Budget::NONE)
+    }
+
+    /// [`ModuloScheduler::schedule_at_ordered`] under a cooperative
+    /// [`hls_ir::Budget`] — see
+    /// [`ModuloScheduler::schedule_at_budgeted`] for the budget and
+    /// panic-isolation contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModuloScheduler::schedule_at_ordered`], plus
+    /// [`SchedError::Timeout`] and [`SchedError::Poisoned`].
+    pub fn schedule_at_ordered_budgeted(
+        &self,
+        ii: u64,
+        order: &[OpId],
+        budget: &hls_ir::Budget,
+    ) -> Result<ModuloSchedule, SchedError> {
         let n = self.g.len();
         let mut prio = vec![0u64; n];
         for (i, &v) in order.iter().enumerate() {
@@ -182,7 +219,8 @@ impl ModuloScheduler {
             }
             prio[v.index()] = (order.len() - i) as u64;
         }
-        self.ims(ii, &prio)
+        let mut steps = 0u64;
+        self.ims_isolated(ii, &prio, budget, &mut steps)
     }
 
     /// Searches candidate IIs upward from [`ModuloScheduler::mii`]
@@ -194,9 +232,27 @@ impl ModuloScheduler {
     /// whole range up to [`ModuloScheduler::max_ii`] fails (does not
     /// happen for well-formed kernels; the bound is a backstop).
     pub fn schedule(&self) -> Result<ModuloOutcome, SchedError> {
+        self.schedule_budgeted(&hls_ir::Budget::NONE)
+    }
+
+    /// [`ModuloScheduler::schedule`] under a cooperative
+    /// [`hls_ir::Budget`] spanning the *whole* II search: placements
+    /// across all attempted IIs draw from one step quota, and the wall
+    /// deadline is checked before every placement.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModuloScheduler::schedule`], plus [`SchedError::Timeout`]
+    /// when the budget expires and [`SchedError::Poisoned`] if a
+    /// placement panicked (caught here, never unwound to the caller).
+    pub fn schedule_budgeted(
+        &self,
+        budget: &hls_ir::Budget,
+    ) -> Result<ModuloOutcome, SchedError> {
         let mii = self.mii();
+        let mut steps = 0u64;
         for ii in mii..=self.max_ii() {
-            match self.schedule_at(ii) {
+            match self.ims_isolated(ii, &self.height, budget, &mut steps) {
                 Ok(ms) => {
                     let latency = ms.latency(&self.g);
                     return Ok(ModuloOutcome {
@@ -215,10 +271,38 @@ impl ModuloScheduler {
         Err(SchedError::IiInfeasible(self.max_ii()))
     }
 
+    /// [`ModuloScheduler::ims`] under `catch_unwind`: the modulo
+    /// scheduler keeps no cross-attempt state (`&self`, fresh tables
+    /// per call), so a caught panic needs no poisoned flag — it just
+    /// surfaces as [`SchedError::Poisoned`] and the next attempt is
+    /// clean.
+    fn ims_isolated(
+        &self,
+        ii: u64,
+        prio: &[u64],
+        budget: &hls_ir::Budget,
+        steps: &mut u64,
+    ) -> Result<ModuloSchedule, SchedError> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.ims(ii, prio, budget, steps)
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => Err(SchedError::Poisoned(crate::panic_message(payload.as_ref()))),
+        }
+    }
+
     /// Iterative modulo scheduling at one II with the given priority
     /// vector (higher value = placed earlier; ties break on the lower
-    /// op index). Deterministic.
-    fn ims(&self, ii: u64, prio: &[u64]) -> Result<ModuloSchedule, SchedError> {
+    /// op index). Deterministic. `steps` accumulates placements across
+    /// calls so a multi-II search shares one budget.
+    fn ims(
+        &self,
+        ii: u64,
+        prio: &[u64],
+        run_budget: &hls_ir::Budget,
+        steps: &mut u64,
+    ) -> Result<ModuloSchedule, SchedError> {
         if ii == 0 {
             return Err(SchedError::IiInfeasible(0));
         }
@@ -254,6 +338,13 @@ impl ModuloScheduler {
                 return Err(SchedError::IiInfeasible(ii));
             }
             budget -= 1;
+            // Cooperative cancellation + fault-injection hook: one
+            // check per placement, the modulo analogue of a commit.
+            hls_ir::faultinject::tick_commit();
+            if run_budget.expired(*steps) {
+                return Err(SchedError::Timeout);
+            }
+            *steps += 1;
             // Highest priority unscheduled op; ties to the lowest id.
             let v = (0..n)
                 .filter(|&i| unplaced[i])
@@ -516,6 +607,32 @@ mod tests {
     use super::*;
     use hls_ir::schedule::check_modulo;
     use hls_ir::{bench_graphs, OpKind};
+
+    #[test]
+    fn modulo_budget_times_out_as_a_typed_error() {
+        let g = bench_graphs::mac_loop();
+        let r = ResourceSet::classic(1, 1).with(ResourceClass::MemPort, 1);
+        let sched = ModuloScheduler::new(g, r).unwrap();
+        // Zero placements allowed: the very first placement check fails.
+        let err = sched.schedule_budgeted(&hls_ir::Budget::steps(0)).unwrap_err();
+        assert!(matches!(err, SchedError::Timeout), "{err}");
+        // A generous quota completes normally.
+        let out = sched.schedule_budgeted(&hls_ir::Budget::steps(100_000)).unwrap();
+        assert_eq!(out.ii, 2);
+    }
+
+    #[test]
+    fn modulo_placement_panic_is_caught_as_poisoned() {
+        let _armed = hls_ir::faultinject::arm(
+            hls_ir::faultinject::FaultPlan::panic_at(2).in_run("modulo-victim"),
+        );
+        let _scope = hls_ir::faultinject::RunScope::enter("modulo-victim");
+        let g = bench_graphs::mac_loop();
+        let r = ResourceSet::classic(1, 1).with(ResourceClass::MemPort, 1);
+        let sched = ModuloScheduler::new(g, r).unwrap();
+        let err = sched.schedule().unwrap_err();
+        assert!(matches!(err, SchedError::Poisoned(_)), "{err}");
+    }
 
     #[test]
     fn mac_loop_pipelines_at_the_memory_bound() {

@@ -66,7 +66,8 @@ type FullLabels = (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>);
 /// inserts extend the numbering instead and never exhaust it.
 const GAP: u64 = 1 << 32;
 
-/// How a budgeted [`ThreadedScheduler::schedule_all_until`] run ended.
+/// How a budgeted [`ThreadedScheduler::schedule_all_until`] /
+/// [`ThreadedScheduler::schedule_all_budgeted`] run ended.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum RunOutcome {
     /// Every operation of the order was scheduled.
@@ -75,6 +76,14 @@ pub enum RunOutcome {
     /// (including the one whose commit triggered the hook).
     Aborted {
         /// Operations scheduled before the abort.
+        scheduled: usize,
+    },
+    /// The run's [`hls_ir::Budget`] expired — wall deadline or step
+    /// quota — before the order was exhausted. Cooperative
+    /// cancellation: the budget is checked after every commit, so the
+    /// run stops within one commit of its deadline.
+    DeadlineExpired {
+        /// Operations committed before the budget expired.
         scheduled: usize,
     },
 }
@@ -213,6 +222,11 @@ pub struct ThreadedScheduler {
     op_of: Vec<Option<OpId>>,
     /// Number of threads (resource units plus wire singleton threads).
     threads: usize,
+    /// Set when a commit panicked mid-update (e.g. under fault
+    /// injection): the state may violate its invariants, so every
+    /// subsequent scheduling call short-circuits to
+    /// [`SchedError::Poisoned`] instead of computing on corrupt data.
+    poisoned: Option<String>,
     /// Sum of all node delays — an upper bound on any legal `sdist`,
     /// used to fail fast (like the seed's per-commit relabel assert)
     /// if an invalid placement ever closes a state cycle.
@@ -230,7 +244,7 @@ impl ThreadedScheduler {
     /// Returns [`SchedError::Ir`] if `g` is cyclic.
     pub fn new(g: PrecedenceGraph, resources: ResourceSet) -> Result<Self, SchedError> {
         g.validate()?;
-        let reach = ReachIndex::build(&g);
+        let reach = ReachIndex::try_build(&g)?;
         let sched_extrema = ChainExtrema::empty(&reach);
         let gdist = hls_ir::algo::sink_distances(&g);
         let k = resources.k();
@@ -258,6 +272,7 @@ impl ThreadedScheduler {
             sent_t: Vec::with_capacity(k),
             op_of: Vec::new(),
             threads: 0,
+            poisoned: None,
             total_delay: 0,
             history: Vec::new(),
             scratch: RefCell::new(Scratch::default()),
@@ -396,10 +411,13 @@ impl ThreadedScheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`SchedError::UnknownOp`] for out-of-range ids and
+    /// Returns [`SchedError::UnknownOp`] for out-of-range ids,
     /// [`SchedError::NoCompatibleUnit`] if no thread can execute the
-    /// operation.
+    /// operation, and [`SchedError::Poisoned`] if a previous commit
+    /// panicked (the panic is caught here — it never crosses this
+    /// boundary — but the state is permanently unusable afterwards).
     pub fn schedule(&mut self, v: OpId) -> Result<Placement, SchedError> {
+        self.check_poisoned()?;
         if v.index() >= self.g.len() {
             return Err(SchedError::UnknownOp(v));
         }
@@ -411,12 +429,44 @@ impl ThreadedScheduler {
                 cost: self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize],
             });
         }
-        if self.g.kind(v).resource_class() == ResourceClass::Wire {
-            return self.schedule_wire(v);
+        self.schedule_isolated(v, false)
+    }
+
+    /// `true` once a commit panicked and left the state unusable; see
+    /// [`SchedError::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    fn check_poisoned(&self) -> Result<(), SchedError> {
+        match &self.poisoned {
+            Some(msg) => Err(SchedError::Poisoned(msg.clone())),
+            None => Ok(()),
         }
-        let placement = self.select(v)?;
-        self.commit(placement, v);
-        Ok(placement)
+    }
+
+    /// Runs one select+commit under `catch_unwind`: a panic mid-commit
+    /// (a bug, or the fault-injection harness) may leave the linked
+    /// chains and labels inconsistent, so it poisons the scheduler and
+    /// surfaces as [`SchedError::Poisoned`] instead of unwinding
+    /// through the public API.
+    fn schedule_isolated(&mut self, v: OpId, late: bool) -> Result<Placement, SchedError> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if self.g.kind(v).resource_class() == ResourceClass::Wire {
+                return self.schedule_wire(v);
+            }
+            let placement = if late { self.select_late(v)? } else { self.select(v)? };
+            self.commit(placement, v);
+            Ok(placement)
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = crate::panic_message(payload.as_ref());
+                self.poisoned = Some(msg.clone());
+                Err(SchedError::Poisoned(msg))
+            }
+        }
     }
 
     /// Schedules every operation of `order` in sequence.
@@ -456,9 +506,37 @@ impl ThreadedScheduler {
     pub fn schedule_all_until(
         &mut self,
         order: impl IntoIterator<Item = OpId>,
+        abort: impl FnMut(u64) -> bool,
+    ) -> Result<RunOutcome, SchedError> {
+        self.schedule_all_budgeted(order, &hls_ir::Budget::NONE, abort)
+    }
+
+    /// The fully budgeted run: [`ThreadedScheduler::schedule_all_until`]
+    /// plus a cooperative [`hls_ir::Budget`]. The budget is checked
+    /// before *every* commit, so a run never overshoots its deadline
+    /// by more than the one commit in flight:
+    ///
+    /// * an already-expired budget commits nothing and returns
+    ///   [`RunOutcome::DeadlineExpired`] with `scheduled: 0`;
+    /// * a step quota of `q` commits exactly `min(q, |order|)`
+    ///   operations — deterministic across machines and thread counts
+    ///   (the quota is per-run, not global);
+    /// * a wall deadline stops at the first commit that observes it
+    ///   (through the fault-injectable clock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SchedError`] encountered.
+    pub fn schedule_all_budgeted(
+        &mut self,
+        order: impl IntoIterator<Item = OpId>,
+        budget: &hls_ir::Budget,
         mut abort: impl FnMut(u64) -> bool,
     ) -> Result<RunOutcome, SchedError> {
         for (fed, v) in order.into_iter().enumerate() {
+            if budget.expired(fed as u64) {
+                return Ok(RunOutcome::DeadlineExpired { scheduled: fed });
+            }
             self.schedule(v)?;
             if abort(self.final_lower_bound()) {
                 return Ok(RunOutcome::Aborted { scheduled: fed + 1 });
@@ -507,18 +585,14 @@ impl ThreadedScheduler {
     ///
     /// Same contract as [`ThreadedScheduler::schedule`].
     pub fn schedule_late(&mut self, v: OpId) -> Result<Placement, SchedError> {
+        self.check_poisoned()?;
         if v.index() >= self.g.len() {
             return Err(SchedError::UnknownOp(v));
         }
         if self.is_scheduled(v) {
             return self.schedule(v);
         }
-        if self.g.kind(v).resource_class() == ResourceClass::Wire {
-            return self.schedule_wire(v);
-        }
-        let placement = self.select_late(v)?;
-        self.commit(placement, v);
-        Ok(placement)
+        self.schedule_isolated(v, true)
     }
 
     /// Every feasible placement for `v` with its cost, in deterministic
@@ -546,6 +620,9 @@ impl ThreadedScheduler {
     /// this scheduler's `select`/`feasible_placements` on the current
     /// state).
     pub fn commit(&mut self, placement: Placement, v: OpId) {
+        // Fault-injection hook: a no-op unless the test harness armed
+        // a plan (and always in release builds).
+        hls_ir::faultinject::tick_commit();
         assert!(placement.thread < self.threads, "unknown thread");
         let k = placement.thread;
         let s = self.stride;
@@ -707,7 +784,7 @@ impl ThreadedScheduler {
         chain: impl IntoIterator<Item = (OpKind, u64, String)>,
     ) -> Result<Vec<OpId>, SchedError> {
         let inserted = self.g.splice_on_edge(from, to, chain)?;
-        self.sync_graph_growth();
+        self.sync_graph_growth()?;
         for &v in &inserted {
             // Reloads go as late as their slack allows so the spilled
             // value stays in memory, not in a register; everything else
@@ -746,7 +823,7 @@ impl ThreadedScheduler {
         if self.g.validate().is_err() {
             return Err(SchedError::WouldCycle(v));
         }
-        self.sync_graph_growth();
+        self.sync_graph_growth()?;
         self.schedule(v)?;
         Ok(v)
     }
@@ -1730,16 +1807,17 @@ impl ThreadedScheduler {
     /// covered by fresh chains and a min/max relaxation walks only the
     /// affected cone ([`ReachIndex::grow`]), replacing the seed's
     /// per-row dense-closure surgery.
-    fn sync_graph_growth(&mut self) {
+    fn sync_graph_growth(&mut self) -> Result<(), SchedError> {
         let old = self.node_of.len();
         let new = self.g.len();
         self.node_of.resize(new, None);
         if new == old {
-            return;
+            return Ok(());
         }
-        self.reach.grow(&self.g);
+        self.reach.try_grow(&self.g)?;
         self.sched_extrema.sync_chain_count(&self.reach);
         self.refresh_proj();
+        Ok(())
     }
 }
 
@@ -1752,6 +1830,76 @@ mod tests {
         let f = bench_graphs::fig1();
         let ts = ThreadedScheduler::new(f.graph, ResourceSet::uniform(2)).unwrap();
         (ts, f.v)
+    }
+
+    #[test]
+    fn step_quota_halts_after_exactly_that_many_commits() {
+        let g = bench_graphs::hal();
+        let n = g.len();
+        let order: Vec<OpId> = g.op_ids().collect();
+        for quota in [0u64, 1, 3, n as u64, n as u64 + 5] {
+            let mut ts = ThreadedScheduler::new(g.clone(), ResourceSet::classic(2, 2)).unwrap();
+            let out = ts
+                .schedule_all_budgeted(order.iter().copied(), &hls_ir::Budget::steps(quota), |_| false)
+                .unwrap();
+            let expect = (quota as usize).min(n);
+            if expect < n {
+                assert_eq!(out, RunOutcome::DeadlineExpired { scheduled: expect });
+            } else {
+                assert_eq!(out, RunOutcome::Completed);
+            }
+            assert_eq!(ts.scheduled_count(), expect, "quota {quota}");
+            ts.check_invariants().unwrap();
+            // The interrupted state is a valid prefix: the run resumes
+            // to completion under a fresh budget.
+            let resumed = ts
+                .schedule_all_budgeted(order.iter().copied(), &hls_ir::Budget::NONE, |_| false)
+                .unwrap();
+            assert_eq!(resumed, RunOutcome::Completed);
+            assert_eq!(ts.scheduled_count(), n);
+            ts.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn skewed_clock_expires_a_wall_deadline_within_one_commit() {
+        use std::time::Duration;
+        // Every commit advances the injected clock by an hour, so a
+        // 30-minute deadline must be seen expired at the first
+        // post-commit check — one scheduled op, no more.
+        let _armed = hls_ir::faultinject::arm(hls_ir::faultinject::FaultPlan {
+            clock_skew_per_commit: Duration::from_secs(3600),
+            ..Default::default()
+        }
+        .in_run("skewed-run"));
+        let _scope = hls_ir::faultinject::RunScope::enter("skewed-run");
+        let g = bench_graphs::hal();
+        let order: Vec<OpId> = g.op_ids().collect();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(2, 2)).unwrap();
+        let budget = hls_ir::Budget::deadline_in(Duration::from_secs(1800));
+        let out = ts.schedule_all_budgeted(order, &budget, |_| false).unwrap();
+        assert_eq!(out, RunOutcome::DeadlineExpired { scheduled: 1 });
+        ts.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn injected_panic_poisons_the_scheduler_not_the_caller() {
+        let _armed =
+            hls_ir::faultinject::arm(hls_ir::faultinject::FaultPlan::panic_at(3).in_run("victim"));
+        let _scope = hls_ir::faultinject::RunScope::enter("victim");
+        let g = bench_graphs::hal();
+        let order: Vec<OpId> = g.op_ids().collect();
+        let mut ts = ThreadedScheduler::new(g, ResourceSet::classic(2, 2)).unwrap();
+        let err = ts.schedule_all(order.iter().copied()).unwrap_err();
+        assert!(matches!(err, SchedError::Poisoned(_)), "{err}");
+        assert!(ts.is_poisoned());
+        // Poisoning is sticky: every later call short-circuits.
+        let again = ts.schedule(order[0]).unwrap_err();
+        assert!(matches!(again, SchedError::Poisoned(_)), "{again}");
+        let run = ts
+            .schedule_all_budgeted(order.iter().copied(), &hls_ir::Budget::NONE, |_| false)
+            .unwrap_err();
+        assert!(matches!(run, SchedError::Poisoned(_)), "{run}");
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The graceful-degradation ladder.
+//!
+//! A budgeted flow should come back with *something* — the best answer
+//! its budget allowed, plus an honest record of what it had to give
+//! up. [`run_flow_degraded`] walks a fixed ladder of scheduling
+//! strategies, each cheaper and more predictable than the last, and
+//! settles on the first rung that produces a validated design:
+//!
+//! 1. [`DegradeRung::Portfolio`] — the parallel portfolio with
+//!    feedback refinement, under half the budget;
+//! 2. [`DegradeRung::SingleMeta`] — the single configured meta order,
+//!    under three quarters of the (original) budget;
+//! 3. [`DegradeRung::ListSchedule`] — plain list scheduling, under
+//!    the full remaining budget;
+//! 4. [`DegradeRung::BoundOnly`] — no schedule at all: the certified
+//!    lower bound ([`ThreadedScheduler::schedule_lower_bound`]), which
+//!    needs no commits and therefore no budget.
+//!
+//! A rung is abandoned only for *recoverable* failures — its budget
+//! slice expired ([`DegradeReason::Timeout`]), it panicked
+//! ([`DegradeReason::Poisoned`]), or it failed in a way a simpler
+//! strategy may avoid ([`DegradeReason::Error`]); the reason is
+//! recorded in [`DegradedOutcome::degraded`] so callers can tell a
+//! first-choice answer from a fallback. Failures that every rung
+//! would share (a malformed graph, a missing unit class) surface from
+//! the last schedule-producing rung as the flow's own typed error.
+//!
+//! Under a pure step-quota budget the ladder is deterministic: which
+//! rung answers, and with what design, reproduces across thread
+//! counts (`crates/flow/tests/degradation.rs`).
+
+use crate::flow::{FlowConfig, FlowError, FlowOutcome};
+use hls_ir::PrecedenceGraph;
+use threaded_sched::{meta::MetaSchedule, ThreadedScheduler};
+
+/// One rung of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeRung {
+    /// Parallel portfolio + feedback refinement (the full engine).
+    Portfolio,
+    /// The single configured meta order.
+    SingleMeta,
+    /// Plain list scheduling.
+    ListSchedule,
+    /// No schedule: only the certified lower bound is reported.
+    BoundOnly,
+}
+
+impl DegradeRung {
+    /// Display name of the rung.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeRung::Portfolio => "portfolio",
+            DegradeRung::SingleMeta => "single-meta",
+            DegradeRung::ListSchedule => "list-schedule",
+            DegradeRung::BoundOnly => "bound-only",
+        }
+    }
+}
+
+/// Why a rung was abandoned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The rung's budget slice expired.
+    Timeout,
+    /// The rung panicked (message preserved; the panic never left the
+    /// ladder).
+    Poisoned(String),
+    /// The rung failed in a way a simpler strategy may avoid.
+    Error(String),
+}
+
+/// One abandoned rung: what was tried and why it was given up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradeStep {
+    /// The rung that was tried.
+    pub rung: DegradeRung,
+    /// Why it was abandoned.
+    pub reason: DegradeReason,
+}
+
+/// What a degraded flow settled on.
+#[derive(Debug)]
+pub struct DegradedOutcome {
+    /// The rung that answered.
+    pub rung: DegradeRung,
+    /// The produced design — `None` exactly when `rung` is
+    /// [`DegradeRung::BoundOnly`].
+    pub outcome: Option<FlowOutcome>,
+    /// The certified lower bound on any schedule of this behavior
+    /// under these resources. Always present, even bound-only.
+    pub lower_bound: u64,
+    /// The rungs abandoned on the way down, in ladder order — empty
+    /// when the portfolio answered first try.
+    pub degraded: Vec<DegradeStep>,
+}
+
+/// Is this failure worth descending a rung for, and if so why?
+fn recoverable(e: &FlowError) -> Option<DegradeReason> {
+    match e {
+        FlowError::Timeout => Some(DegradeReason::Timeout),
+        FlowError::Poisoned(msg) => Some(DegradeReason::Poisoned(msg.clone())),
+        // Structural rejections no rung can fix: descending would just
+        // re-fail slower.
+        FlowError::NeedsPipeline
+        | FlowError::Lang(_)
+        | FlowError::Malformed(_)
+        | FlowError::ResourceExhausted(_) => None,
+        other => Some(DegradeReason::Error(other.to_string())),
+    }
+}
+
+/// Runs the flow down the degradation ladder; see the
+/// [module docs](self).
+///
+/// # Errors
+///
+/// Only failures no rung can recover from: structural rejections
+/// ([`FlowError::NeedsPipeline`], [`FlowError::Malformed`],
+/// [`FlowError::ResourceExhausted`], front-end errors) and a
+/// bound-only rung that itself cannot validate the graph.
+pub fn run_flow_degraded(
+    graph: &PrecedenceGraph,
+    config: &FlowConfig,
+) -> Result<DegradedOutcome, FlowError> {
+    let mut degraded = Vec::new();
+
+    // Rung configs: each swaps only the scheduling strategy and its
+    // budget slice; the rest of the flow (spilling, placement, FSMD)
+    // is identical, so a lower rung's answer is a complete design.
+    let rungs = [
+        (DegradeRung::Portfolio, {
+            let mut c = config.clone();
+            c.portfolio = Some(config.portfolio.clone().unwrap_or_default());
+            c.budget = config.budget.slice(1, 2);
+            c
+        }),
+        (DegradeRung::SingleMeta, {
+            let mut c = config.clone();
+            c.portfolio = None;
+            c.budget = config.budget.slice(3, 4);
+            c
+        }),
+        (DegradeRung::ListSchedule, {
+            let mut c = config.clone();
+            c.portfolio = None;
+            c.meta = MetaSchedule::ListBased;
+            c.budget = config.budget;
+            c
+        }),
+    ];
+
+    for (rung, rung_cfg) in rungs {
+        match crate::run_flow(graph.clone(), &rung_cfg) {
+            Ok(outcome) => {
+                let lower_bound = outcome.scheduler.schedule_lower_bound();
+                return Ok(DegradedOutcome {
+                    rung,
+                    outcome: Some(outcome),
+                    lower_bound,
+                    degraded,
+                });
+            }
+            Err(e) => match recoverable(&e) {
+                Some(reason) => degraded.push(DegradeStep { rung, reason }),
+                None => return Err(e),
+            },
+        }
+    }
+
+    // Bound-only: the certified lower bound needs graph validation and
+    // the chain-cover index but not a single commit, so it answers
+    // even with a fully exhausted budget. Loop kernels are bounded on
+    // their one-iteration kernel DAG.
+    let g = if graph.has_loop_edges() {
+        graph.kernel_dag()
+    } else {
+        graph.clone()
+    };
+    let lower_bound =
+        ThreadedScheduler::new(g, config.resources.clone())?.schedule_lower_bound();
+    Ok(DegradedOutcome {
+        rung: DegradeRung::BoundOnly,
+        outcome: None,
+        lower_bound,
+        degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::bench_graphs;
+
+    fn base_config() -> FlowConfig {
+        FlowConfig::default()
+    }
+
+    #[test]
+    fn unlimited_budget_answers_on_the_portfolio_rung() {
+        let cfg = base_config();
+        let out = run_flow_degraded(&bench_graphs::ewf(), &cfg).unwrap();
+        assert_eq!(out.rung, DegradeRung::Portfolio);
+        assert!(out.degraded.is_empty());
+        let flow = out.outcome.expect("a schedule was produced");
+        assert!(flow.report.final_states >= out.lower_bound);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_the_bound_only_report() {
+        // A zero-step quota starves every schedule-producing rung; the
+        // ladder still answers with the certified bound, and records
+        // each abandoned rung as a timeout.
+        let cfg = FlowConfig {
+            budget: hls_ir::Budget::steps(0),
+            ..base_config()
+        };
+        let out = run_flow_degraded(&bench_graphs::ewf(), &cfg).unwrap();
+        assert_eq!(out.rung, DegradeRung::BoundOnly);
+        assert!(out.outcome.is_none());
+        assert!(out.lower_bound > 0);
+        assert_eq!(out.degraded.len(), 3);
+        assert!(out
+            .degraded
+            .iter()
+            .all(|s| s.reason == DegradeReason::Timeout));
+    }
+
+    #[test]
+    fn structural_failures_are_not_degraded_away() {
+        // A loop-carrying behavior without the pipeline seat fails
+        // identically on every rung — the ladder must surface the
+        // typed error, not burn the budget re-failing.
+        let cfg = base_config();
+        let err = run_flow_degraded(&bench_graphs::mac_loop(), &cfg).unwrap_err();
+        assert_eq!(err, FlowError::NeedsPipeline);
+    }
+
+    #[test]
+    fn mid_budget_lands_on_a_lower_schedule_rung() {
+        // Enough steps for one plain run but not for the portfolio's
+        // half-slice: the ladder descends yet still returns a design.
+        let g = bench_graphs::ewf();
+        let n = g.len() as u64;
+        let cfg = FlowConfig {
+            budget: hls_ir::Budget::steps(n + n / 2),
+            ..base_config()
+        };
+        let out = run_flow_degraded(&g, &cfg).unwrap();
+        assert_ne!(out.rung, DegradeRung::BoundOnly, "budget affords a schedule");
+        let flow = out.outcome.expect("a schedule was produced");
+        flow.scheduler.check_invariants().unwrap();
+        assert!(flow.report.final_states >= out.lower_bound);
+    }
+}

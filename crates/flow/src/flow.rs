@@ -51,6 +51,13 @@ pub struct FlowConfig {
     pub place: PlaceConfig,
     /// Delay model (for φ-resolution move delay).
     pub delays: DelayModel,
+    /// Budget of the scheduling phases (the portfolio race, the modulo
+    /// portfolio, or the single-meta run). Combined pointwise
+    /// ([`hls_ir::Budget::tighter`]) with any budget already carried
+    /// by the portfolio/pipeline seats. An expired budget surfaces as
+    /// [`FlowError::Timeout`]; [`crate::run_flow_degraded`] instead
+    /// walks the degradation ladder. The default is unlimited.
+    pub budget: hls_ir::Budget,
 }
 
 impl Default for FlowConfig {
@@ -65,6 +72,7 @@ impl Default for FlowConfig {
             wire_model: WireModel::default(),
             place: PlaceConfig::default(),
             delays: DelayModel::classic(),
+            budget: hls_ir::Budget::NONE,
         }
     }
 }
@@ -143,6 +151,19 @@ pub enum FlowError {
     Invalid(String),
     /// Lifetime extraction failed (internal bug guard).
     Lifetime(String),
+    /// The [`FlowConfig::budget`] expired before a schedule was
+    /// produced. [`crate::run_flow_degraded`] turns this into a
+    /// descent down the degradation ladder instead.
+    Timeout,
+    /// A scheduling phase panicked; the panic was contained at the
+    /// flow boundary and the message preserved. No panic crosses the
+    /// public API.
+    Poisoned(String),
+    /// The textual DFG input did not parse ([`crate::run_flow_dfg`]).
+    Malformed(String),
+    /// An input exceeded a structural capacity limit (e.g. the
+    /// reachability index's vertex budget).
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for FlowError {
@@ -156,6 +177,10 @@ impl fmt::Display for FlowError {
             FlowError::Sched(e) => write!(f, "scheduler: {e}"),
             FlowError::Invalid(msg) => write!(f, "invalid extracted schedule: {msg}"),
             FlowError::Lifetime(msg) => write!(f, "lifetime extraction: {msg}"),
+            FlowError::Timeout => write!(f, "flow budget expired before a schedule was produced"),
+            FlowError::Poisoned(msg) => write!(f, "scheduling phase panicked: {msg}"),
+            FlowError::Malformed(msg) => write!(f, "malformed DFG input: {msg}"),
+            FlowError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
         }
     }
 }
@@ -170,7 +195,12 @@ impl From<hls_lang::LangError> for FlowError {
 
 impl From<SchedError> for FlowError {
     fn from(e: SchedError) -> Self {
-        FlowError::Sched(e)
+        match e {
+            SchedError::Timeout => FlowError::Timeout,
+            SchedError::Poisoned(msg) => FlowError::Poisoned(msg),
+            SchedError::ResourceExhausted(msg) => FlowError::ResourceExhausted(msg),
+            other => FlowError::Sched(other),
+        }
     }
 }
 
@@ -184,12 +214,36 @@ pub fn run_flow_source(source: &str, config: &FlowConfig) -> Result<FlowOutcome,
     run_flow(compiled.graph, config)
 }
 
+/// Parses a textual DFG ([`hls_ir::textfmt`]) and runs the full flow.
+///
+/// # Errors
+///
+/// [`FlowError::Malformed`] when the text does not parse (carrying
+/// the parser's line/column diagnostic); otherwise any [`FlowError`].
+pub fn run_flow_dfg(text: &str, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    let graph =
+        hls_ir::textfmt::from_text(text).map_err(|e| FlowError::Malformed(e.to_string()))?;
+    run_flow(graph, config)
+}
+
 /// Runs the full flow on an already-built behavior graph.
+///
+/// No panic crosses this boundary: anything unwinding out of a flow
+/// phase is caught and returned as [`FlowError::Poisoned`].
 ///
 /// # Errors
 ///
 /// Any [`FlowError`].
 pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_flow_inner(graph, config)))
+        .unwrap_or_else(|payload| {
+            Err(FlowError::Poisoned(threaded_sched::panic_message(
+                payload.as_ref(),
+            )))
+        })
+}
+
+fn run_flow_inner(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
     // 0. Loop pipelining: modulo-schedule the kernel (acyclic
     // behaviors are kernels without recurrences), then hand the
     // one-iteration kernel DAG to the rest of the flow. Without the
@@ -199,7 +253,11 @@ pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutco
     let mut modulo = None;
     let graph = match &config.pipeline {
         Some(pcfg) => {
-            let out = hls_search::run_modulo_portfolio(&graph, &config.resources, pcfg)?;
+            let pcfg = hls_search::PipelineConfig {
+                budget: pcfg.budget.tighter(&config.budget),
+                ..pcfg.clone()
+            };
+            let out = hls_search::run_modulo_portfolio(&graph, &config.resources, &pcfg)?;
             pipeline = Some(PipelineReport {
                 ii: out.ii,
                 mii: out.mii,
@@ -217,16 +275,39 @@ pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutco
     };
 
     // 1. Soft scheduling — a single meta order, or the parallel
-    // portfolio + feedback refinement when configured.
-    let mut ts = match &config.portfolio {
-        Some(pcfg) => hls_search::run_portfolio(&graph, &config.resources, pcfg)?.winner,
+    // portfolio + feedback refinement when configured. Either path
+    // honours the flow budget and stops within one commit of expiry.
+    let ts = match &config.portfolio {
+        Some(pcfg) => {
+            let pcfg = hls_search::PortfolioConfig {
+                budget: pcfg.budget.tighter(&config.budget),
+                ..pcfg.clone()
+            };
+            hls_search::run_portfolio(&graph, &config.resources, &pcfg)?.winner
+        }
         None => {
             let order = config.meta.order(&graph, &config.resources)?;
             let mut ts = ThreadedScheduler::new(graph, config.resources.clone())?;
-            ts.schedule_all(order)?;
-            ts
+            match ts.schedule_all_budgeted(order, &config.budget, |_| false)? {
+                threaded_sched::RunOutcome::DeadlineExpired { .. } => {
+                    return Err(FlowError::Timeout)
+                }
+                _ => ts,
+            }
         }
     };
+    finish_flow(ts, pipeline, modulo, config)
+}
+
+/// The post-scheduling phases (spilling, φ resolution, placement,
+/// extraction, FSMD) — shared by [`run_flow`] and the degradation
+/// ladder, which swaps only the scheduling rung.
+pub(crate) fn finish_flow(
+    mut ts: ThreadedScheduler,
+    pipeline: Option<PipelineReport>,
+    modulo: Option<hls_ir::ModuloSchedule>,
+    config: &FlowConfig,
+) -> Result<FlowOutcome, FlowError> {
     let initial_states = ts.diameter();
 
     // 2. Register allocation with spilling, absorbed softly. Spilling

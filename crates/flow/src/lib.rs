@@ -19,12 +19,21 @@
 //!    annotation — long transfers are absorbed as wire-delay vertices;
 //! 6. hard-schedule extraction, validation, FSMD and RTL emission.
 
+// Fallibility is the crate's contract: every failure mode of the flow
+// is a typed `FlowError`/`SimError`, never an unwrap (`DESIGN.md` §9).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod degrade;
 mod flow;
 mod fsmd;
 pub mod sim;
 
+pub use degrade::{
+    run_flow_degraded, DegradeReason, DegradeRung, DegradeStep, DegradedOutcome,
+};
 pub use flow::{
-    run_flow, run_flow_source, FlowConfig, FlowError, FlowOutcome, FlowReport, PipelineReport,
+    run_flow, run_flow_dfg, run_flow_source, FlowConfig, FlowError, FlowOutcome, FlowReport,
+    PipelineReport,
 };
 pub use fsmd::{Fsmd, MicroOp};
 pub use sim::{eval_dfg, simulate_datapath, synth_inputs, SimError};

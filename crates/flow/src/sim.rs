@@ -47,6 +47,12 @@ pub enum SimError {
         /// The producer of the chained value.
         producer: OpId,
     },
+    /// The graph is cyclic — simulation needs a DAG (loop kernels are
+    /// simulated through their one-iteration kernel DAG).
+    Cyclic,
+    /// An operand references a producer that never ran — the graph's
+    /// operand lists are inconsistent with its edges.
+    DanglingOperand(OpId),
 }
 
 impl fmt::Display for SimError {
@@ -60,6 +66,10 @@ impl fmt::Display for SimError {
             }
             SimError::ForwardingMiss { reader, producer } => {
                 write!(f, "{reader} missed the forwarding window of {producer}")
+            }
+            SimError::Cyclic => write!(f, "simulation requires an acyclic graph"),
+            SimError::DanglingOperand(p) => {
+                write!(f, "operand references {p}, which never produced a value")
             }
         }
     }
@@ -104,13 +114,13 @@ fn apply(kind: OpKind, args: &[i64]) -> i64 {
 ///
 /// # Errors
 ///
-/// [`SimError::NoOperands`] / [`SimError::MissingInput`]; panics only on
-/// cyclic graphs (validated everywhere upstream).
+/// [`SimError::NoOperands`] / [`SimError::MissingInput`];
+/// [`SimError::Cyclic`] on a cyclic graph.
 pub fn eval_dfg(
     g: &PrecedenceGraph,
     inputs: &BTreeMap<String, i64>,
 ) -> Result<BTreeMap<OpId, i64>, SimError> {
-    let order = algo::topo_order(g).expect("simulation requires a DAG");
+    let order = algo::topo_order(g).map_err(|_| SimError::Cyclic)?;
     let mut values: BTreeMap<OpId, i64> = BTreeMap::new();
     for v in order {
         if g.operands(v).is_empty() {
@@ -136,7 +146,7 @@ fn operand_value(
             .get(name)
             .copied()
             .ok_or_else(|| SimError::MissingInput(name.clone())),
-        Operand::Op(p) => Ok(lookup(*p).expect("dependence order guarantees the producer ran")),
+        Operand::Op(p) => lookup(*p).ok_or(SimError::DanglingOperand(*p)),
     }
 }
 
@@ -176,7 +186,9 @@ pub fn simulate_datapath(
     let mut writes: Vec<(u64, OpId, usize, i64)> = Vec::new();
 
     for &v in &ops {
-        let now = sched.start(v).expect("checked above");
+        let Some(now) = sched.start(v) else {
+            return Err(SimError::Unscheduled(v));
+        };
         // Commit all writes that land strictly before `now`.
         writes.sort_by_key(|&(t, p, _, _)| (t, p));
         let (ready, pending): (Vec<_>, Vec<_>) =
@@ -204,14 +216,10 @@ pub fn simulate_datapath(
                         // A stored value lives in background memory: one
                         // location per spill, never clobbered within the
                         // block. The matching Load reads it directly.
-                        *produced
-                            .get(&p)
-                            .expect("issue order runs producers first")
+                        *produced.get(&p).ok_or(SimError::DanglingOperand(p))?
                     } else if pf == now {
                         // Same-edge forwarding (chained or just-latched).
-                        *produced
-                            .get(&p)
-                            .expect("issue order runs producers first")
+                        *produced.get(&p).ok_or(SimError::DanglingOperand(p))?
                     } else {
                         match regs.register_of(p) {
                             Some(r) => match regfile.get(&r) {

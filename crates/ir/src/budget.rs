@@ -1,0 +1,216 @@
+//! Deadlines and cooperative cancellation budgets.
+//!
+//! Every long-running engine in the stack — the threaded scheduler's
+//! commit loop, the modulo scheduler's placement loop, the portfolio
+//! races and the flow driver — accepts a [`Budget`] and checks it
+//! *cooperatively* after every unit of work (one committed operation),
+//! so a run always stops within one commit of its deadline. A budget
+//! carries two independent limits:
+//!
+//! * a **wall-clock deadline** (an absolute [`Instant`]) — the
+//!   production limit: "this request must answer within 50 ms". Which
+//!   commit observes the expiry depends on machine speed, so results
+//!   under a wall deadline are *not* deterministic across runs;
+//! * a **step quota** — a deterministic per-run commit budget: "no
+//!   single scheduling run may commit more than `n` operations". The
+//!   quota is counted per run (each `schedule_all_*` call counts its
+//!   own commits), which is what makes budgeted results reproducible
+//!   across thread counts: a racing run expires at exactly the same
+//!   commit no matter how it is interleaved with its rivals. The
+//!   degradation tests (`crates/flow/tests`) and the fault-injection
+//!   suite lean on this mode.
+//!
+//! Wall-clock reads go through [`crate::faultinject::now`], so the
+//! fault-injection harness can skew the clock a deadline check sees
+//! without touching the real clock (see `DESIGN.md` §9).
+
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation budget: an optional wall-clock deadline
+/// plus an optional deterministic per-run step quota. The default
+/// (`Budget::NONE`) imposes no limit. See the [module docs](self).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Absolute wall-clock cutoff, if any.
+    deadline: Option<Instant>,
+    /// Per-run commit quota, if any.
+    max_steps: Option<u64>,
+}
+
+impl Budget {
+    /// The unlimited budget — every check passes.
+    pub const NONE: Budget = Budget {
+        deadline: None,
+        max_steps: None,
+    };
+
+    /// A budget expiring `window` from now (wall clock).
+    pub fn deadline_in(window: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + window),
+            max_steps: None,
+        }
+    }
+
+    /// A budget expiring at the absolute instant `at`.
+    pub fn deadline_at(at: Instant) -> Budget {
+        Budget {
+            deadline: Some(at),
+            max_steps: None,
+        }
+    }
+
+    /// A deterministic budget: any single run may commit at most
+    /// `steps` operations. Zero means "expired immediately".
+    pub fn steps(steps: u64) -> Budget {
+        Budget {
+            deadline: None,
+            max_steps: Some(steps),
+        }
+    }
+
+    /// This budget with a step quota added (keeps the deadline).
+    #[must_use]
+    pub fn and_steps(mut self, steps: u64) -> Budget {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// This budget with a wall deadline `window` from now added
+    /// (keeps the step quota).
+    #[must_use]
+    pub fn and_deadline_in(mut self, window: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + window);
+        self
+    }
+
+    /// `true` if neither a deadline nor a step quota is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_steps.is_none()
+    }
+
+    /// The step quota, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// `true` once `steps_done` commits exhaust the quota or the
+    /// (possibly fault-skewed) wall clock passed the deadline. The
+    /// deterministic quota is checked first so quota-budgeted runs
+    /// never depend on machine speed.
+    pub fn expired(&self, steps_done: u64) -> bool {
+        if self.max_steps.is_some_and(|q| steps_done >= q) {
+            return true;
+        }
+        self.wall_expired()
+    }
+
+    /// `true` if the wall-clock deadline (alone) has passed, under the
+    /// fault-injection clock skew when armed.
+    pub fn wall_expired(&self) -> bool {
+        self.deadline.is_some_and(|at| crate::faultinject::now() >= at)
+    }
+
+    /// A proportional slice `num/den` of this budget, for handing one
+    /// rung of a degradation ladder its share:
+    ///
+    /// * the step quota becomes `⌊max_steps · num / den⌋`;
+    /// * the deadline becomes `now + remaining · num / den` (a slice of
+    ///   the *remaining* window; an already-expired deadline stays
+    ///   expired).
+    ///
+    /// `den` must be non-zero; `num >= den` returns the budget
+    /// unchanged.
+    #[must_use]
+    pub fn slice(&self, num: u32, den: u32) -> Budget {
+        assert!(den > 0, "slice denominator must be non-zero");
+        if num >= den {
+            return *self;
+        }
+        let max_steps = self
+            .max_steps
+            .map(|q| q.saturating_mul(u64::from(num)) / u64::from(den));
+        let deadline = self.deadline.map(|at| {
+            let now = Instant::now();
+            match at.checked_duration_since(now) {
+                Some(remaining) => now + remaining * num / den,
+                None => at, // already expired; keep it expired
+            }
+        });
+        Budget { deadline, max_steps }
+    }
+
+    /// The pointwise-tighter combination of two budgets: the earlier
+    /// deadline and the smaller step quota.
+    #[must_use]
+    pub fn tighter(&self, other: &Budget) -> Budget {
+        let deadline = match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let max_steps = match (self.max_steps, other.max_steps) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Budget { deadline, max_steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let b = Budget::NONE;
+        assert!(b.is_unlimited());
+        assert!(!b.expired(0));
+        assert!(!b.expired(u64::MAX));
+        assert!(!b.wall_expired());
+    }
+
+    #[test]
+    fn step_quota_is_exact_and_deterministic() {
+        let b = Budget::steps(3);
+        assert!(!b.expired(0));
+        assert!(!b.expired(2));
+        assert!(b.expired(3));
+        assert!(b.expired(4));
+        assert!(Budget::steps(0).expired(0), "zero quota expires immediately");
+    }
+
+    #[test]
+    fn wall_deadline_expires() {
+        let b = Budget::deadline_at(Instant::now() - Duration::from_millis(1));
+        assert!(b.wall_expired());
+        assert!(b.expired(0));
+        let far = Budget::deadline_in(Duration::from_secs(3600));
+        assert!(!far.expired(u64::MAX - 1) || far.max_steps().is_none());
+        assert!(!far.wall_expired());
+    }
+
+    #[test]
+    fn slice_scales_the_quota() {
+        let b = Budget::steps(100);
+        assert_eq!(b.slice(1, 2).max_steps(), Some(50));
+        assert_eq!(b.slice(3, 4).max_steps(), Some(75));
+        assert_eq!(b.slice(1, 1).max_steps(), Some(100));
+        assert_eq!(b.slice(5, 4).max_steps(), Some(100), "num >= den is identity");
+        assert_eq!(Budget::NONE.slice(1, 2), Budget::NONE);
+    }
+
+    #[test]
+    fn tighter_takes_the_minimum_of_each_limit() {
+        let a = Budget::steps(10);
+        let b = Budget::steps(5).and_deadline_in(Duration::from_secs(60));
+        let t = a.tighter(&b);
+        assert_eq!(t.max_steps(), Some(5));
+        assert!(t.deadline().is_some());
+        assert_eq!(Budget::NONE.tighter(&Budget::NONE), Budget::NONE);
+    }
+}

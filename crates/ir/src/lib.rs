@@ -37,7 +37,9 @@
 pub mod algo;
 pub mod bench_graphs;
 mod bitmatrix;
+pub mod budget;
 pub mod dot;
+pub mod faultinject;
 pub mod generate;
 mod graph;
 mod op;
@@ -48,8 +50,9 @@ pub mod sim_operands;
 pub mod textfmt;
 
 pub use bitmatrix::BitMatrix;
+pub use budget::Budget;
 pub use graph::{DistEdgeIter, EdgeIter, OpId, OpIdIter, Operand, PrecedenceGraph};
-pub use reach::{ChainExtrema, ReachIndex};
+pub use reach::{CapacityError, ChainExtrema, ReachIndex};
 pub use op::{DelayModel, OpKind, ResourceClass};
 pub use resources::ResourceSet;
 pub use schedule::{HardSchedule, ModuloError, ModuloSchedule, ScheduleError};

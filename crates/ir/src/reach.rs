@@ -44,6 +44,44 @@ pub type Pos = u16;
 /// (still a valid cover), keeping every position below the sentinels.
 const MAX_POS: u32 = u16::MAX as u32 - 1;
 
+/// Hard vertex capacity: chain ids live in `u32` with `u32::MAX` as
+/// the "unassigned" sentinel, and every chain holds at least one
+/// vertex, so `#chains ≤ |V|` must stay strictly below the sentinel.
+const MAX_VERTICES: usize = u32::MAX as usize - 1;
+
+/// The graph exceeds the index's capacity limits (vertex-id width or
+/// table size) — see [`ReachIndex::try_build`]. Schedulers surface
+/// this as their `ResourceExhausted` error rather than truncating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Human-readable description of the exceeded limit.
+    msg: String,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reachability index capacity exceeded: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Rejects vertex counts that would overflow the chain-id space, and
+/// table sizes that would overflow `usize`.
+fn capacity_check(n: usize, stride: usize) -> Result<(), CapacityError> {
+    if n > MAX_VERTICES {
+        return Err(CapacityError {
+            msg: format!("{n} vertices exceed the {MAX_VERTICES}-vertex chain-id space"),
+        });
+    }
+    if n.checked_mul(stride).is_none() {
+        return Err(CapacityError {
+            msg: format!("down/up tables of {n} x {stride} positions overflow usize"),
+        });
+    }
+    Ok(())
+}
+
 /// "No descendant in this chain" sentinel: larger than every position.
 pub const NO_DOWN: Pos = Pos::MAX;
 /// "No ancestor in this chain" sentinel: smaller than every position
@@ -158,10 +196,31 @@ impl ReachIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `g` is cyclic.
+    /// Panics if `g` is cyclic or exceeds the index's capacity; use
+    /// [`ReachIndex::try_build`] for a fallible variant.
     pub fn build(g: &PrecedenceGraph) -> ReachIndex {
+        match ReachIndex::try_build(g) {
+            Ok(idx) => idx,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ReachIndex::build`]: rejects graphs whose vertex
+    /// count would overflow the `u32` chain-id space or whose
+    /// `|V| × #chains` tables would overflow `usize`, instead of
+    /// silently truncating ids.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] when a capacity limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is cyclic.
+    pub fn try_build(g: &PrecedenceGraph) -> Result<ReachIndex, CapacityError> {
         let order = algo::topo_order(g).expect("ReachIndex requires an acyclic graph");
         let n = g.len();
+        capacity_check(n, 1)?;
         let mut idx = ReachIndex {
             n,
             chains: 0,
@@ -193,6 +252,7 @@ impl ReachIndex {
         }
         idx.chains = idx.chain_len.len();
         idx.stride = idx.chains.max(1);
+        capacity_check(n, idx.stride)?;
         idx.down = vec![NO_DOWN; n * idx.stride];
         idx.up = vec![NO_UP; n * idx.stride];
         let mut buf = vec![0 as Pos; idx.chains];
@@ -208,7 +268,7 @@ impl ReachIndex {
                 max_into(idx.up_row_mut(v.index()), &buf);
             }
         }
-        idx
+        Ok(idx)
     }
 
     /// Number of indexed vertices.
@@ -320,12 +380,33 @@ impl ReachIndex {
     /// and every affected ancestor/descendant strictly improves in a
     /// fresh-chain column, so the worklist reaches exactly the affected
     /// cone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grown graph exceeds the index's capacity; use
+    /// [`ReachIndex::try_grow`] for a fallible variant.
     pub fn grow(&mut self, g: &PrecedenceGraph) {
+        if let Err(e) = self.try_grow(g) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`ReachIndex::grow`] — the growth analogue of
+    /// [`ReachIndex::try_build`]. On `Err` the index is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] when a capacity limit is exceeded.
+    pub fn try_grow(&mut self, g: &PrecedenceGraph) -> Result<(), CapacityError> {
         let old = self.n;
         let new = g.len();
         if new == old {
-            return;
+            return Ok(());
         }
+        // Check the worst-case post-growth table up front (stride at
+        // most doubles or becomes #chains ≤ |V|) so a failure leaves
+        // the index untouched.
+        capacity_check(new, self.stride.saturating_mul(2).max(new).max(1))?;
         let old_chains = self.chains;
         self.chain.resize(new, u32::MAX);
         self.pos.resize(new, 0);
@@ -403,6 +484,7 @@ impl ReachIndex {
                 }
             }
         }
+        Ok(())
     }
 
     /// Verifies the index against the dense closures of `g` — the
@@ -841,6 +923,55 @@ mod tests {
         ex.insert(&idx, x.index());
         let batch = idx.extrema([a.index(), x.index()]);
         assert_eq!(ex, batch);
+    }
+
+    #[test]
+    fn chain_split_at_the_u16_boundary_keeps_reachability_exact() {
+        // A path one longer than the largest single chain: MAX_POS + 2
+        // vertices force a split into exactly two chains, with the
+        // first holding MAX_POS members at positions 1..=MAX_POS. The
+        // dense-oracle `check` is out of reach here (Θ(|V|²) closures),
+        // so assert the split geometry and reachability directly.
+        let n = MAX_POS as usize + 2; // 65536
+        let mut g = PrecedenceGraph::new();
+        let ids: Vec<OpId> = (0..n).map(|i| g.add_op(OpKind::Add, 1, format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let idx = ReachIndex::try_build(&g).unwrap();
+        assert_eq!(idx.chain_count(), 2, "one split at MAX_POS");
+        let first = ids[0].index();
+        let boundary = ids[MAX_POS as usize - 1].index(); // last of chain 0
+        let after = ids[MAX_POS as usize].index(); // first of chain 1
+        let last = ids[n - 1].index();
+        assert_eq!(idx.pos_of(boundary) as u32, MAX_POS, "no truncation at the boundary");
+        assert_ne!(idx.chain_of(boundary), idx.chain_of(after));
+        assert_eq!(idx.pos_of(after), 1, "split chain restarts at position 1");
+        // Reachability across the split stays exact in both directions.
+        assert!(idx.reaches(first, last));
+        assert!(idx.reaches(boundary, after));
+        assert!(idx.reaches(first, after));
+        assert!(!idx.reaches(after, boundary));
+        assert!(!idx.reaches(last, first));
+        // Set probes see through the split too.
+        let ex = idx.extrema([first]);
+        assert!(idx.set_reaches(&ex, last));
+        assert!(!idx.set_reached_by(&ex, last));
+    }
+
+    #[test]
+    fn capacity_limits_are_explicit_errors() {
+        // The guard itself (a graph this size cannot be materialized).
+        assert!(capacity_check(MAX_VERTICES, 1).is_ok());
+        let too_many = capacity_check(MAX_VERTICES + 1, 1).unwrap_err();
+        assert!(too_many.to_string().contains("chain-id space"), "{too_many}");
+        let overflow = capacity_check(MAX_VERTICES, usize::MAX).unwrap_err();
+        assert!(overflow.to_string().contains("overflow"), "{overflow}");
+        // Ordinary graphs are untouched by the guard.
+        let (g, _) = diamond();
+        assert!(ReachIndex::try_build(&g).is_ok());
+        let mut idx = ReachIndex::try_build(&g).unwrap();
+        assert!(idx.try_grow(&g).is_ok(), "no-op grow stays Ok");
     }
 
     #[test]

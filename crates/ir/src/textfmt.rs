@@ -12,23 +12,41 @@
 //!
 //! Ids are dense indices in declaration order; `kind` uses the
 //! mnemonics of [`OpKind`] plus names (`add`, `mul`, ...).
+//!
+//! This is the untrusted-input boundary of the workspace: arbitrary
+//! bytes may arrive here, so the parse path is panic-free by policy
+//! (enforced by the `unwrap_used`/`expect_used` lint gate below and the
+//! seeded byte-mutation fuzz test) and every error carries 1-based
+//! line *and column* context.
+
+// Hardened-module policy: the parse path must return ParseDfgError,
+// never panic, on any input.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::{IrError, OpId, OpKind, Operand, PrecedenceGraph};
 use std::error::Error;
 use std::fmt;
 
-/// Parse errors with 1-based line numbers.
+/// Parse errors with 1-based line and column context.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseDfgError {
-    /// 1-based source line.
+    /// 1-based source line (0 for whole-input errors, e.g. final
+    /// graph validation).
     pub line: usize,
+    /// 1-based byte column of the offending token (0 when the error
+    /// has no single column, e.g. whole-input errors).
+    pub col: usize,
     /// What went wrong.
     pub msg: String,
 }
 
 impl fmt::Display for ParseDfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dfg parse error at line {}: {}", self.line, self.msg)
+        if self.col > 0 {
+            write!(f, "dfg parse error at line {}:{}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "dfg parse error at line {}: {}", self.line, self.msg)
+        }
     }
 }
 
@@ -87,68 +105,112 @@ pub fn to_text(g: &PrecedenceGraph) -> String {
     out
 }
 
+/// A whitespace-separated token with its 1-based byte column.
+#[derive(Clone, Copy)]
+struct Token<'a> {
+    col: usize,
+    text: &'a str,
+}
+
+/// Splits a raw line into tokens carrying their source columns (the
+/// subslices of `split_whitespace` give their offsets for free).
+fn tokens(raw: &str) -> impl Iterator<Item = Token<'_>> {
+    raw.split_whitespace().map(move |tok| Token {
+        col: tok.as_ptr() as usize - raw.as_ptr() as usize + 1,
+        text: tok,
+    })
+}
+
 /// Parses the text format back into a graph.
+///
+/// This is the untrusted boundary: any byte sequence (lossily decoded
+/// to `&str`) must yield `Ok` or a typed error, never a panic — the
+/// seeded fuzz test below holds the parser to that.
 ///
 /// # Errors
 ///
-/// Returns [`ParseDfgError`] on malformed lines, unknown kinds,
-/// out-of-order ids or invalid edges.
+/// Returns [`ParseDfgError`] (with line/column context) on malformed
+/// lines, unknown kinds or directives, out-of-order ids, invalid
+/// edges, or operand references to undeclared ops.
 pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
     let mut g = PrecedenceGraph::new();
-    let mut operands: Vec<(OpId, Operand)> = Vec::new();
+    // Deferred so `op:` references may point forward; each remembers
+    // its source position for the post-pass check.
+    let mut operands: Vec<(OpId, Operand, usize, usize)> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let err = |msg: String| ParseDfgError { line: lineno, msg };
-        let mut parts = line.split_whitespace();
-        match parts.next() {
-            Some("op") => {
-                let id: usize = parse_field(parts.next(), "id", lineno)?;
+        // Column to blame when a token is missing entirely.
+        let end_col = raw.trim_end().len() + 1;
+        let err = |col: usize, msg: String| ParseDfgError { line: lineno, col, msg };
+        let mut parts = tokens(raw);
+        let Some(directive) = parts.next() else { continue };
+        match directive.text {
+            "op" => {
+                let id_tok = parts.next();
+                let id: usize = parse_field(id_tok, "id", lineno, end_col)?;
                 if id != g.len() {
-                    return Err(err(format!("op id {id} out of order (expected {})", g.len())));
+                    let col = id_tok.map_or(end_col, |t| t.col);
+                    return Err(err(col, format!("op id {id} out of order (expected {})", g.len())));
                 }
-                let kind_s = parts.next().ok_or_else(|| err("missing kind".into()))?;
-                let kind = kind_from(kind_s)
-                    .ok_or_else(|| err(format!("unknown kind `{kind_s}`")))?;
-                let delay: u64 = parse_field(parts.next(), "delay", lineno)?;
-                let label = parts.collect::<Vec<_>>().join(" ");
+                let kind_tok = parts.next().ok_or_else(|| err(end_col, "missing kind".into()))?;
+                let kind = kind_from(kind_tok.text)
+                    .ok_or_else(|| err(kind_tok.col, format!("unknown kind `{}`", kind_tok.text)))?;
+                let delay: u64 = parse_field(parts.next(), "delay", lineno, end_col)?;
+                let label = parts.map(|t| t.text).collect::<Vec<_>>().join(" ");
                 g.add_op(kind, delay, if label.is_empty() { format!("v{id}") } else { label });
             }
-            Some("edge") => {
-                let a: usize = parse_field(parts.next(), "from", lineno)?;
-                let b: usize = parse_field(parts.next(), "to", lineno)?;
+            "edge" => {
+                let a_tok = parts.next();
+                let a: usize = parse_field(a_tok, "from", lineno, end_col)?;
+                let b: usize = parse_field(parts.next(), "to", lineno, end_col)?;
                 g.add_edge(OpId::from_index(a), OpId::from_index(b))
-                    .map_err(|e: IrError| err(e.to_string()))?;
+                    .map_err(|e: IrError| err(a_tok.map_or(end_col, |t| t.col), e.to_string()))?;
             }
-            Some("operand") => {
-                let id: usize = parse_field(parts.next(), "id", lineno)?;
+            "operand" => {
+                let id_tok = parts.next();
+                let id: usize = parse_field(id_tok, "id", lineno, end_col)?;
                 if id >= g.len() {
-                    return Err(err(format!("operand for unknown op {id}")));
+                    let col = id_tok.map_or(end_col, |t| t.col);
+                    return Err(err(col, format!("operand for unknown op {id}")));
                 }
-                let spec = parts.next().ok_or_else(|| err("missing operand spec".into()))?;
-                let operand = if let Some(p) = spec.strip_prefix("op:") {
-                    let p: usize = p.parse().map_err(|_| err(format!("bad op ref `{spec}`")))?;
+                let spec = parts.next().ok_or_else(|| err(end_col, "missing operand spec".into()))?;
+                let operand = if let Some(p) = spec.text.strip_prefix("op:") {
+                    let p: usize = p
+                        .parse()
+                        .map_err(|_| err(spec.col, format!("bad op ref `{}`", spec.text)))?;
                     Operand::Op(OpId::from_index(p))
-                } else if let Some(c) = spec.strip_prefix("const:") {
-                    let c: i64 = c.parse().map_err(|_| err(format!("bad const `{spec}`")))?;
+                } else if let Some(c) = spec.text.strip_prefix("const:") {
+                    let c: i64 = c
+                        .parse()
+                        .map_err(|_| err(spec.col, format!("bad const `{}`", spec.text)))?;
                     Operand::Const(c)
-                } else if let Some(n) = spec.strip_prefix("in:") {
+                } else if let Some(n) = spec.text.strip_prefix("in:") {
                     Operand::Input(n.to_string())
                 } else {
-                    return Err(err(format!("unknown operand spec `{spec}`")));
+                    return Err(err(spec.col, format!("unknown operand spec `{}`", spec.text)));
                 };
-                operands.push((OpId::from_index(id), operand));
+                operands.push((OpId::from_index(id), operand, lineno, spec.col));
             }
-            Some(other) => return Err(err(format!("unknown directive `{other}`"))),
-            None => {}
+            other => return Err(err(directive.col, format!("unknown directive `{other}`"))),
         }
     }
-    // Attach operands after all ops exist.
+    // Attach operands after all ops exist; `op:` references must name
+    // a declared op or downstream consumers would index out of bounds.
     let mut per_op: Vec<Vec<Operand>> = vec![Vec::new(); g.len()];
-    for (v, operand) in operands {
+    for (v, operand, line, col) in operands {
+        if let Operand::Op(p) = &operand {
+            if p.index() >= g.len() {
+                return Err(ParseDfgError {
+                    line,
+                    col,
+                    msg: format!("operand references unknown op {}", p.index()),
+                });
+            }
+        }
         per_op[v.index()].push(operand);
     }
     for (i, ops) in per_op.into_iter().enumerate() {
@@ -157,25 +219,26 @@ pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
         }
     }
     g.validate()
-        .map_err(|e| ParseDfgError { line: 0, msg: e.to_string() })?;
+        .map_err(|e| ParseDfgError { line: 0, col: 0, msg: e.to_string() })?;
     Ok(g)
 }
 
 fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
+    field: Option<Token<'_>>,
     what: &str,
     line: usize,
+    end_col: usize,
 ) -> Result<T, ParseDfgError> {
-    field
-        .ok_or_else(|| ParseDfgError {
-            line,
-            msg: format!("missing {what}"),
-        })?
-        .parse()
-        .map_err(|_| ParseDfgError {
-            line,
-            msg: format!("bad {what}"),
-        })
+    let tok = field.ok_or_else(|| ParseDfgError {
+        line,
+        col: end_col,
+        msg: format!("missing {what}"),
+    })?;
+    tok.text.parse().map_err(|_| ParseDfgError {
+        line,
+        col: tok.col,
+        msg: format!("bad {what} `{}`", tok.text),
+    })
 }
 
 #[cfg(test)]
@@ -227,6 +290,63 @@ mod tests {
         let text = "op 0 add 1 a\nop 1 add 1 b\nedge 0 1\nedge 1 0\n";
         let err = from_text(text).unwrap_err();
         assert!(err.msg.contains("cycle"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // `quux` starts at byte 6 of "op 0 quux 1 a".
+        let err = from_text("op 0 quux 1 a\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 6));
+        assert!(err.to_string().contains("1:6"), "{err}");
+        // Missing delay: blamed on the end of the line.
+        let err = from_text("op 0 add\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 9));
+        // Bad numeric field: blamed on the token, with the token in
+        // the message.
+        let err = from_text("op 0 add banana a\n").unwrap_err();
+        assert_eq!(err.col, 10);
+        assert!(err.msg.contains("banana"), "{err}");
+        // Indentation shifts columns (they are raw-line offsets).
+        let err = from_text("   bogus\n").unwrap_err();
+        assert_eq!(err.col, 4);
+    }
+
+    #[test]
+    fn operand_refs_to_undeclared_ops_are_rejected() {
+        // Forward references to declared ops are fine...
+        let ok = from_text("op 0 add 1 a\nop 1 add 1 b\noperand 0 op:1\n");
+        assert!(ok.is_ok());
+        // ...references past the graph are a typed error, not a latent
+        // out-of-bounds index for downstream consumers.
+        let err = from_text("op 0 add 1 a\noperand 0 op:7\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unknown op 7"), "{err}");
+    }
+
+    #[test]
+    fn mutated_bench_corpus_never_panics_the_parser() {
+        // Seeded in-tree fuzz: byte-level mutations of every benchmark
+        // graph's serialization must parse to Ok or Err — never panic.
+        // The seed base is overridable so CI can sweep several.
+        let base: u64 = std::env::var("TEXTFMT_FUZZ_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let mut trials = 0u32;
+        for (_name, mut g) in bench_graphs::all() {
+            sim_operands::infer(&mut g);
+            let text = to_text(&g);
+            for round in 0..64u64 {
+                let mutated = crate::faultinject::mutate_bytes(
+                    base.wrapping_mul(0x1000_0001).wrapping_add(round),
+                    text.as_bytes(),
+                );
+                let decoded = String::from_utf8_lossy(&mutated);
+                let _ = from_text(&decoded); // Ok or Err both fine
+                trials += 1;
+            }
+        }
+        assert!(trials >= 256, "corpus shrank: only {trials} trials");
     }
 
     #[test]

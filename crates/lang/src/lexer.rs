@@ -150,7 +150,9 @@ impl<'a> Lexer<'a> {
         while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.advance();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are utf8");
+        // The slice is all ASCII digits; lossy conversion cannot lose
+        // anything and keeps the lexer free of unwraps on its hot path.
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
         text.parse::<i64>()
             .map(TokenKind::Int)
             .map_err(|_| LangError::Lex {
@@ -169,13 +171,13 @@ impl<'a> Lexer<'a> {
         {
             self.advance();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident is utf8");
-        match text {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+        match text.as_ref() {
             "input" => TokenKind::KwInput,
             "output" => TokenKind::KwOutput,
             "if" => TokenKind::KwIf,
             "else" => TokenKind::KwElse,
-            _ => TokenKind::Ident(text.to_string()),
+            _ => TokenKind::Ident(text.into_owned()),
         }
     }
 

@@ -34,6 +34,10 @@
 //! # Ok::<(), hls_lang::LangError>(())
 //! ```
 
+// Source text is adversarial input: every front-end failure mode must
+// be a typed `LangError`, never an unwrap (`DESIGN.md` §9).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod ast;
 mod lexer;
 mod lower;
@@ -42,6 +46,7 @@ mod parser;
 pub use ast::{BinOp, Block, Expr, Program, Stmt};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use lower::{Compiled, Value};
+pub use parser::parse;
 
 use std::error::Error;
 use std::fmt;
@@ -76,6 +81,10 @@ pub enum LangError {
     DuplicateDecl(String),
     /// An `output` variable never received a value.
     OutputNeverAssigned(String),
+    /// A front-end invariant broke (a lowering bug, or a panic caught
+    /// at the [`compile`] boundary). Never caused by the source text
+    /// alone.
+    Internal(String),
 }
 
 impl fmt::Display for LangError {
@@ -89,6 +98,7 @@ impl fmt::Display for LangError {
             LangError::AssignToInput(n) => write!(f, "assignment to input `{n}`"),
             LangError::DuplicateDecl(n) => write!(f, "duplicate declaration of `{n}`"),
             LangError::OutputNeverAssigned(n) => write!(f, "output `{n}` is never assigned"),
+            LangError::Internal(msg) => write!(f, "internal front-end error: {msg}"),
         }
     }
 }
@@ -97,6 +107,11 @@ impl Error for LangError {}
 
 /// Compiles a behavioral source text into a DFG.
 ///
+/// No panic crosses this boundary: anything unwinding out of a
+/// front-end phase is caught and returned as [`LangError::Internal`].
+/// (Unbounded recursion is prevented separately by the parser's
+/// nesting limit — a stack overflow would abort, not unwind.)
+///
 /// # Errors
 ///
 /// Any [`LangError`] from lexing, parsing or lowering.
@@ -104,7 +119,18 @@ pub fn compile(
     source: &str,
     delays: &hls_ir::DelayModel,
 ) -> Result<lower::Compiled, LangError> {
-    let tokens = Lexer::new(source).tokenize()?;
-    let program = parser::parse(&tokens)?;
-    lower::lower(&program, delays)
+    let delays = delays.clone();
+    std::panic::catch_unwind(move || {
+        let tokens = Lexer::new(source).tokenize()?;
+        let program = parser::parse(&tokens)?;
+        lower::lower(&program, &delays)
+    })
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(LangError::Internal(msg))
+    })
 }

@@ -135,9 +135,9 @@ impl Lowerer<'_> {
                                 self.delays.delay_of(OpKind::Phi),
                                 format!("phi_{name}"),
                             );
-                            self.dep(&cond_v, phi);
-                            self.dep(tv, phi);
-                            self.dep(ev, phi);
+                            self.dep(&cond_v, phi)?;
+                            self.dep(tv, phi)?;
+                            self.dep(ev, phi)?;
                             self.g.set_operands(
                                 phi,
                                 vec![operand(&cond_v), operand(tv), operand(ev)],
@@ -176,20 +176,23 @@ impl Lowerer<'_> {
                     self.delays.delay_of(kind),
                     format!("{hint}_{}{}", kind.mnemonic(), self.tmp),
                 );
-                self.dep(&lv, id);
-                self.dep(&rv, id);
+                self.dep(&lv, id)?;
+                self.dep(&rv, id)?;
                 self.g.set_operands(id, vec![operand(&lv), operand(&rv)]);
                 Ok(Value::Op(id))
             }
         }
     }
 
-    fn dep(&mut self, value: &Value, consumer: OpId) {
+    // Lowering only ever emits forward edges, so a rejection here is a
+    // front-end bug — reported, not unwrapped.
+    fn dep(&mut self, value: &Value, consumer: OpId) -> Result<(), LangError> {
         if let Value::Op(producer) = value {
             self.g
                 .add_edge(*producer, consumer)
-                .expect("lowering emits forward edges only");
+                .map_err(|e| LangError::Internal(format!("lowering emitted a bad edge: {e}")))?;
         }
+        Ok(())
     }
 }
 

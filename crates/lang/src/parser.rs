@@ -7,7 +7,23 @@ use crate::LangError;
 struct Parser<'t> {
     toks: &'t [Token],
     pos: usize,
+    depth: usize,
 }
+
+/// Maximum statement/expression nesting. Recursion in this parser is
+/// bounded by input nesting; past this depth a pathological input
+/// would overflow the stack (an *abort*, which no `catch_unwind` can
+/// contain), so it is rejected with a parse error instead.
+const MAX_DEPTH: usize = 200;
+
+/// Stands in for a token when the slice is empty — [`parse`] accepts
+/// arbitrary token streams, not only the lexer's `Eof`-terminated
+/// ones.
+const EOF_TOKEN: Token = Token {
+    kind: TokenKind::Eof,
+    line: 0,
+    col: 0,
+};
 
 /// Parses a token stream (as produced by [`crate::Lexer::tokenize`])
 /// into a [`Program`].
@@ -16,7 +32,11 @@ struct Parser<'t> {
 ///
 /// Returns [`LangError::Parse`] with the offending position.
 pub fn parse(tokens: &[Token]) -> Result<Program, LangError> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut program = Program::default();
     loop {
         match p.peek() {
@@ -39,21 +59,36 @@ pub fn parse(tokens: &[Token]) -> Result<Program, LangError> {
 }
 
 impl Parser<'_> {
+    fn current(&self) -> &Token {
+        self.toks.get(self.pos).unwrap_or(&EOF_TOKEN)
+    }
+
     fn peek(&self) -> &TokenKind {
-        &self.toks[self.pos].kind
+        &self.current().kind
     }
 
     fn here(&self) -> (usize, usize) {
-        let t = &self.toks[self.pos];
+        let t = self.current();
         (t.line, t.col)
     }
 
     fn bump(&mut self) -> &Token {
-        let t = &self.toks[self.pos];
+        let t = self.toks.get(self.pos).unwrap_or(&EOF_TOKEN);
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
         t
+    }
+
+    /// Bounds the recursion of [`Parser::stmt`] / [`Parser::expr`];
+    /// the matching decrement is in those wrappers.
+    fn descend(&mut self) -> Result<(), LangError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")))
+        } else {
+            Ok(())
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> LangError {
@@ -101,6 +136,13 @@ impl Parser<'_> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, LangError> {
+        self.descend()?;
+        let stmt = self.stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, LangError> {
         match self.peek() {
             TokenKind::KwIf => self.if_stmt(),
             TokenKind::Ident(_) => {
@@ -145,6 +187,13 @@ impl Parser<'_> {
 
     // Precedence (loosest to tightest): cmp, logic, sum, product.
     fn expr(&mut self) -> Result<Expr, LangError> {
+        self.descend()?;
+        let expr = self.expr_inner();
+        self.depth -= 1;
+        expr
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, LangError> {
         let lhs = self.logic()?;
         match self.peek() {
             TokenKind::Lt => {

@@ -1,0 +1,151 @@
+//! Adversarial front-end inputs (`DESIGN.md` §9).
+//!
+//! Every input here must come back as `Ok` or a typed [`LangError`] —
+//! never a panic, and never a stack overflow (which would abort the
+//! whole process, so the parser's nesting limit is load-bearing).
+
+use hls_ir::DelayModel;
+use hls_lang::{compile, parse, LangError};
+
+fn dm() -> DelayModel {
+    DelayModel::classic()
+}
+
+#[test]
+fn empty_source_compiles_to_an_empty_program() {
+    let c = compile("", &dm()).expect("empty program is valid");
+    assert!(c.graph.is_empty());
+    assert!(c.inputs.is_empty());
+    assert!(c.outputs.is_empty());
+}
+
+#[test]
+fn whitespace_and_comments_only_compile_cleanly() {
+    let c = compile("  \n\t // nothing here\n// or here\n", &dm()).unwrap();
+    assert!(c.graph.is_empty());
+}
+
+#[test]
+fn empty_token_slice_is_a_valid_parse() {
+    // `parse` is public; callers may hand it slices the lexer never
+    // produced — including one without the trailing `Eof`.
+    let p = parse(&[]).expect("empty slice parses as empty program");
+    assert!(p.body.stmts.is_empty());
+}
+
+#[test]
+fn unbalanced_parens_are_a_parse_error() {
+    for src in [
+        "input a; output o; o = (a + 1;",
+        "input a; output o; o = a + 1);",
+        "input a; output o; o = ((a);",
+        "if (a < 1 { x = 1; }",
+        "if (a < 1) { x = 1;",
+    ] {
+        let err = compile(src, &dm()).unwrap_err();
+        assert!(
+            matches!(err, LangError::Parse { .. }),
+            "`{src}` should be a parse error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_parens_are_rejected_not_overflowed() {
+    // 10k nesting levels would blow the stack in a naive recursive
+    // descent; the depth limit must turn it into a typed error.
+    let depth = 10_000;
+    let src = format!(
+        "input a; output o; o = {}a{};",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    let err = compile(&src, &dm()).unwrap_err();
+    let LangError::Parse { msg, .. } = err else {
+        panic!("expected a parse error, got {err:?}");
+    };
+    assert!(msg.contains("nesting"), "unexpected message: {msg}");
+}
+
+#[test]
+fn deeply_nested_ifs_are_rejected_not_overflowed() {
+    let depth = 10_000;
+    let mut src = String::from("input a; output o; ");
+    for _ in 0..depth {
+        src.push_str("if (a < 1) { ");
+    }
+    src.push_str("o = a + 1; ");
+    for _ in 0..depth {
+        src.push('}');
+    }
+    let err = compile(&src, &dm()).unwrap_err();
+    assert!(matches!(err, LangError::Parse { .. }), "got {err:?}");
+}
+
+#[test]
+fn moderate_nesting_still_parses() {
+    let depth = 64;
+    let src = format!(
+        "input a; output o; o = {}a + 1{};",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    let c = compile(&src, &dm()).unwrap();
+    assert_eq!(c.graph.len(), 1);
+}
+
+#[test]
+fn shadowed_names_resolve_to_the_latest_version() {
+    // SSA renaming: each assignment shadows the previous; the output
+    // must read the last version, and nothing may panic on the redefinitions.
+    let src = "input a; output o; \
+               t = a + 1; t = t * 2; t = t - 3; t = t << 1; o = t;";
+    let c = compile(src, &dm()).unwrap();
+    assert_eq!(c.graph.len(), 4);
+    assert!(c.graph.validate().is_ok());
+}
+
+#[test]
+fn shadowing_across_a_branch_join_is_merged_with_a_phi() {
+    let src = "input a, b; output o; \
+               t = a + b; \
+               if (a < b) { t = t * 2; t = t + 1; } \
+               o = t;";
+    let c = compile(src, &dm()).unwrap();
+    assert!(!c.phis.is_empty(), "divergent `t` needs a phi");
+    assert!(c.graph.validate().is_ok());
+}
+
+#[test]
+fn huge_literals_are_a_lex_error_not_a_panic() {
+    for lit in [
+        "99999999999999999999",
+        "9223372036854775808", // i64::MAX + 1
+        &"9".repeat(4096),
+    ] {
+        let err = compile(&format!("input a; output o; o = a + {lit};"), &dm()).unwrap_err();
+        assert!(
+            matches!(err, LangError::Lex { .. }),
+            "`{lit}` should be a lex error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn i64_max_is_still_a_valid_literal() {
+    let src = format!("input a; output o; o = a + {};", i64::MAX);
+    compile(&src, &dm()).unwrap();
+}
+
+#[test]
+fn garbage_bytes_never_panic() {
+    // A grab-bag of malformed inputs; typed error or clean compile,
+    // nothing else.
+    for src in [
+        ";", "=", "}", ")", "((((", "input", "input ;", "output ,;",
+        "if", "if (", "if (a", "else { }", "o =", "o = ;", "o = a +;",
+        "a = b = c;", "input a; input a;", "\u{0}", "o = a @ b;",
+    ] {
+        let _ = compile(src, &dm());
+    }
+}

@@ -61,6 +61,11 @@ pub struct PipelineConfig {
     /// per candidate II (on top of the height priority and the four
     /// paper metas).
     pub topo_seeds: Vec<u64>,
+    /// Budget applied to every candidate run independently (each run
+    /// draws its own step quota; a wall deadline is a shared absolute
+    /// instant). [`hls_ir::Budget::NONE`] (the default) runs
+    /// unconstrained.
+    pub budget: hls_ir::Budget,
 }
 
 impl Default for PipelineConfig {
@@ -69,6 +74,7 @@ impl Default for PipelineConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(8),
             ii_span: 2,
             topo_seeds: vec![0xF1B0_0001, 0xF1B0_0002],
+            budget: hls_ir::Budget::NONE,
         }
     }
 }
@@ -85,6 +91,13 @@ pub struct ModuloRunReport {
     pub latency: Option<u64>,
     /// `true` if the incumbent pruned the candidate before it ran.
     pub pruned: bool,
+    /// Set when the run panicked mid-placement (the panic message):
+    /// the candidate was excluded while the race continued. Panics
+    /// never escape the race.
+    pub poisoned: Option<String>,
+    /// `true` when the run's [`hls_ir::Budget`] expired before the
+    /// placement finished.
+    pub timed_out: bool,
 }
 
 /// Everything [`run_modulo_portfolio`] produces.
@@ -157,7 +170,12 @@ fn recipes(cfg: &PipelineConfig) -> Vec<OrderRecipe> {
 /// # Errors
 ///
 /// Propagates [`SchedError`] from kernel validation (distance-0
-/// cycle), missing unit classes, or meta-order construction.
+/// cycle), missing unit classes, or meta-order construction. When no
+/// candidate completes, returns [`SchedError::Timeout`] if any run hit
+/// `cfg.budget`, or [`SchedError::Poisoned`] naming the dead
+/// candidates when every non-pruned run panicked — budget exhaustion
+/// and panics don't prove the window infeasible, so the sequential
+/// fallback only runs when the window genuinely failed.
 ///
 /// # Panics
 ///
@@ -195,12 +213,21 @@ pub fn run_modulo_portfolio(
     let next_job = AtomicUsize::new(0);
     let workers = crate::race_workers(cfg.threads, candidates.len());
 
-    type Done = (usize, Option<(u64, ModuloSchedule)>, bool);
+    /// How one `(II, order)` candidate ended.
+    enum Done {
+        Completed { latency: u64, ms: ModuloSchedule },
+        Pruned,
+        /// Infeasible at that II (or any other placement failure that
+        /// only rules out this candidate).
+        Failed,
+        TimedOut,
+        Poisoned(String),
+    }
     let mut slots: Vec<Option<ModuloRunReport>> = Vec::new();
     slots.resize_with(candidates.len(), || None);
     let mut best: Option<(u64, u64, usize, ModuloSchedule)> = None;
     std::thread::scope(|s| {
-        let (tx, rx) = mpsc::channel::<Done>();
+        let (tx, rx) = mpsc::channel::<(usize, Done)>();
         for _ in 0..workers {
             let tx = tx.clone();
             let incumbent = &incumbent;
@@ -209,6 +236,7 @@ pub fn run_modulo_portfolio(
             let candidates = &candidates;
             let orders = &orders;
             let g = &*g;
+            let budget = &cfg.budget;
             s.spawn(move || loop {
                 let idx = next_job.fetch_add(1, Ordering::Relaxed);
                 if idx >= candidates.len() {
@@ -218,46 +246,70 @@ pub fn run_modulo_portfolio(
                 let slot = idx as u64;
                 // Prune: even a latency-0 completion at this II loses.
                 if pack(ii, 0, slot) > incumbent.load(Ordering::Relaxed) {
-                    if tx.send((idx, None, true)).is_err() {
+                    if tx.send((idx, Done::Pruned)).is_err() {
                         break;
                     }
                     continue;
                 }
-                let run = match &orders[oi].1 {
-                    None => sched.schedule_at(ii),
-                    Some(order) => sched.schedule_at_ordered(ii, order),
-                };
-                let done = match run {
-                    Ok(ms) => {
-                        let latency = ms.latency(g);
-                        incumbent.fetch_min(pack(ii, latency, slot), Ordering::Relaxed);
-                        (idx, Some((latency, ms)), false)
+                // The scheduler already isolates placement panics
+                // (`SchedError::Poisoned`); the outer catch_unwind
+                // contains anything unwinding outside that boundary
+                // (e.g. latency computation), so no panic crosses the
+                // race. The run executes inside a fault-injection
+                // scope named after the candidate tag.
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let tag = format!("ii={ii}/{}", orders[oi].0);
+                    let _scope = hls_ir::faultinject::RunScope::enter(&tag);
+                    let run = match &orders[oi].1 {
+                        None => sched.schedule_at_budgeted(ii, budget),
+                        Some(order) => sched.schedule_at_ordered_budgeted(ii, order, budget),
+                    };
+                    match run {
+                        Ok(ms) => {
+                            let latency = ms.latency(g);
+                            incumbent.fetch_min(pack(ii, latency, slot), Ordering::Relaxed);
+                            Done::Completed { latency, ms }
+                        }
+                        Err(SchedError::Timeout) => Done::TimedOut,
+                        Err(SchedError::Poisoned(msg)) => Done::Poisoned(msg),
+                        Err(_) => Done::Failed,
                     }
-                    Err(_) => (idx, None, false),
-                };
-                if tx.send(done).is_err() {
+                }));
+                let done = attempt.unwrap_or_else(|payload| {
+                    Done::Poisoned(threaded_sched::panic_message(payload.as_ref()))
+                });
+                if tx.send((idx, done)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (idx, completed, pruned) in rx {
+        for (idx, done) in rx {
             let (ii, oi) = candidates[idx];
-            let latency = completed.as_ref().map(|&(l, _)| l);
-            slots[idx] = Some(ModuloRunReport {
+            let mut report = ModuloRunReport {
                 name: format!("ii={ii}/{}", orders[oi].0),
                 ii,
-                latency,
-                pruned,
-            });
-            if let Some((latency, ms)) = completed {
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b| (ii, latency, idx) < (b.0, b.1, b.2));
-                if better {
-                    best = Some((ii, latency, idx, ms));
+                latency: None,
+                pruned: false,
+                poisoned: None,
+                timed_out: false,
+            };
+            match done {
+                Done::Completed { latency, ms } => {
+                    report.latency = Some(latency);
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| (ii, latency, idx) < (b.0, b.1, b.2));
+                    if better {
+                        best = Some((ii, latency, idx, ms));
+                    }
                 }
+                Done::Pruned => report.pruned = true,
+                Done::Failed => {}
+                Done::TimedOut => report.timed_out = true,
+                Done::Poisoned(msg) => report.poisoned = Some(msg),
             }
+            slots[idx] = Some(report);
         }
     });
     let runs: Vec<ModuloRunReport> = slots
@@ -276,13 +328,28 @@ pub fn run_modulo_portfolio(
             winner_name: runs[idx].name.clone(),
             runs,
         }),
+        // Budget exhaustion and panics don't prove the window
+        // infeasible, so the fallback (which would re-run the same
+        // work) is pointless there — surface the typed error instead.
+        None if runs.iter().any(|r| r.timed_out) => Err(SchedError::Timeout),
+        None if runs.iter().all(|r| r.poisoned.is_some() || r.pruned) => {
+            let dead: Vec<&str> = runs
+                .iter()
+                .filter(|r| r.poisoned.is_some())
+                .map(|r| r.name.as_str())
+                .collect();
+            Err(SchedError::Poisoned(format!(
+                "every modulo candidate panicked: {}",
+                dead.join(", ")
+            )))
+        }
         None => {
             // The whole window failed — every recipe (including the
             // height priority) is proven infeasible there, so the
             // sequential fallback starts strictly *above* the window.
             let mut fallback = None;
             for ii in (mii + cfg.ii_span + 1)..=sched.max_ii() {
-                match sched.schedule_at(ii) {
+                match sched.schedule_at_budgeted(ii, &cfg.budget) {
                     Ok(ms) => {
                         fallback = Some((ii, ms));
                         break;
@@ -325,6 +392,21 @@ mod tests {
         assert_eq!(out.ii, out.mii);
         assert_eq!(check_modulo(&g, &r, &out.schedule), Ok(()));
         assert!(out.runs.iter().any(|r| r.latency.is_some()));
+    }
+
+    #[test]
+    fn exhausted_modulo_budget_is_a_typed_timeout() {
+        let g = bench_graphs::mac_loop();
+        let r = mem_classic(1, 1);
+        let cfg = PipelineConfig {
+            threads: 2,
+            budget: hls_ir::Budget::steps(1),
+            ..PipelineConfig::default()
+        };
+        match run_modulo_portfolio(&g, &r, &cfg) {
+            Err(SchedError::Timeout) => {}
+            other => panic!("expected SchedError::Timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -99,12 +99,20 @@ pub struct Candidate {
 pub struct RunReport {
     /// The candidate's name.
     pub name: String,
-    /// Operations scheduled before completing or aborting.
+    /// Operations scheduled before completing, aborting, timing out
+    /// or panicking.
     pub scheduled: usize,
-    /// Final state diameter — `None` if the run aborted early. Which
-    /// losing runs abort (and after how many operations) depends on
-    /// thread timing; the race *result* does not.
+    /// Final state diameter — `None` if the run did not complete.
+    /// Which losing runs abort (and after how many operations) depends
+    /// on thread timing; the race *result* does not.
     pub diameter: Option<u64>,
+    /// Set when the run panicked mid-schedule (the panic message):
+    /// the strategy was excluded and the race continued with the
+    /// survivors. Panics never escape the race.
+    pub poisoned: Option<String>,
+    /// `true` when the run's [`hls_ir::Budget`] expired before it
+    /// finished.
+    pub timed_out: bool,
 }
 
 /// The race winner: the candidate with the lexicographically smallest
@@ -151,14 +159,25 @@ pub fn race_workers(threads: usize, n_candidates: usize) -> usize {
 /// complete and win (ties abort). With no bound the incumbent starts
 /// at infinity and the best candidate always completes.
 ///
-/// The winner — `argmin (final diameter, index)` — is deterministic
-/// for a fixed candidate list regardless of `threads`; see the
-/// [module docs](self).
+/// `budget` applies to **every run independently** (each draws its own
+/// step quota; a wall deadline is a shared absolute instant). Runs
+/// stopped by the budget report `timed_out`; runs that panic are
+/// *poisoned* — recorded and excluded while the race continues with
+/// the survivors, and no panic escapes this function.
+///
+/// The winner — `argmin (final diameter, index)` over the completed
+/// runs — is deterministic for a fixed candidate list regardless of
+/// `threads`; see the [module docs](self). Under a *step-quota*
+/// budget the completed set itself is deterministic too, so budgeted
+/// results reproduce across thread counts; a wall deadline's completed
+/// set depends on machine speed.
 ///
 /// # Errors
 ///
 /// Propagates the first [`SchedError`] raised by any run (a cyclic
-/// graph or an operation with no compatible unit).
+/// graph or an operation with no compatible unit). Poisoned and
+/// timed-out runs are *not* errors at this level — callers decide
+/// (e.g. [`run_portfolio`] errors only when nothing survived).
 ///
 /// # Panics
 ///
@@ -169,13 +188,90 @@ pub fn race(
     candidates: &[Candidate],
     threads: usize,
     bound: Option<u64>,
+    budget: &hls_ir::Budget,
 ) -> Result<RaceOutcome, SchedError> {
     // Every run starts from the same pristine state; building it once
     // and cloning (one clone per worker, then one per run) pays the
     // graph validation, chain-cover decomposition, sink-distance
     // sweep and resource floor once instead of once per candidate.
     let template = ThreadedScheduler::new(g.clone(), resources.clone())?;
-    race_from(&template, g, resources, candidates, threads, bound)
+    race_from(&template, g, resources, candidates, threads, bound, budget)
+}
+
+/// How one candidate's run ended, as sent over the race channel.
+enum RunResult {
+    /// Ran the whole order; eligible to win. The scheduler is boxed:
+    /// it dwarfs the other variants, and most channel messages are
+    /// non-winners.
+    Completed {
+        scheduled: usize,
+        diameter: u64,
+        scheduler: Box<ThreadedScheduler>,
+        order: Vec<OpId>,
+    },
+    /// Pruned by the incumbent probe.
+    Aborted { scheduled: usize },
+    /// Stopped by the budget.
+    TimedOut { scheduled: usize },
+    /// Panicked mid-run (caught): excluded, race continues.
+    Poisoned { scheduled: usize, msg: String },
+    /// A structural error (bad order, incompatible resources) that
+    /// fails the whole race.
+    Fatal(SchedError),
+}
+
+/// Runs one candidate to a [`RunResult`]. All failure modes are
+/// contained here: scheduler-level panics surface as
+/// [`SchedError::Poisoned`] (the scheduler catches them), and anything
+/// unwinding from order construction is caught by the outer
+/// `catch_unwind`. The run executes inside a fault-injection
+/// [`RunScope`](hls_ir::faultinject::RunScope) named after the
+/// candidate, so the harness can target one strategy of a race
+/// deterministically.
+fn run_candidate(
+    cand: &Candidate,
+    g: &PrecedenceGraph,
+    resources: &ResourceSet,
+    template: &ThreadedScheduler,
+    slot: u64,
+    incumbent: &AtomicU64,
+    budget: &hls_ir::Budget,
+) -> RunResult {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _scope = hls_ir::faultinject::RunScope::enter(&cand.name);
+        let order = cand.source.resolve(g, resources)?;
+        let mut ts = template.clone();
+        let outcome = ts.schedule_all_budgeted(order.iter().copied(), budget, |bound| {
+            pack(bound, slot) > incumbent.load(Ordering::Relaxed)
+        });
+        Ok(match outcome {
+            Ok(RunOutcome::Completed) => {
+                let d = ts.diameter();
+                incumbent.fetch_min(pack(d, slot), Ordering::Relaxed);
+                RunResult::Completed {
+                    scheduled: order.len(),
+                    diameter: d,
+                    scheduler: Box::new(ts),
+                    order,
+                }
+            }
+            Ok(RunOutcome::Aborted { scheduled }) => RunResult::Aborted { scheduled },
+            Ok(RunOutcome::DeadlineExpired { scheduled }) => RunResult::TimedOut { scheduled },
+            Err(SchedError::Poisoned(msg)) => RunResult::Poisoned {
+                scheduled: ts.scheduled_count(),
+                msg,
+            },
+            Err(e) => return Err(e),
+        })
+    }));
+    match attempt {
+        Ok(Ok(result)) => result,
+        Ok(Err(e)) => RunResult::Fatal(e),
+        Err(payload) => RunResult::Poisoned {
+            scheduled: 0,
+            msg: threaded_sched::panic_message(payload.as_ref()),
+        },
+    }
 }
 
 /// [`race`] with a caller-supplied pristine scheduler — what
@@ -188,6 +284,7 @@ fn race_from(
     candidates: &[Candidate],
     threads: usize,
     bound: Option<u64>,
+    budget: &hls_ir::Budget,
 ) -> Result<RaceOutcome, SchedError> {
     assert!(
         candidates.len() <= MAX_CANDIDATES,
@@ -208,10 +305,8 @@ fn race_from(
     let mut best: Option<RaceWinner> = None;
     let mut errs: Vec<Option<SchedError>> = vec![None; candidates.len()];
 
-    type Completed = Option<(u64, ThreadedScheduler, Vec<OpId>)>;
-    type Done = (usize, Result<(usize, Completed), SchedError>);
     std::thread::scope(|s| {
-        let (tx, rx) = mpsc::channel::<Done>();
+        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
         for _ in 0..workers {
             let tx = tx.clone();
             let incumbent = &incumbent;
@@ -223,20 +318,15 @@ fn race_from(
                     break;
                 }
                 let slot = (idx + 1) as u64;
-                let run = candidates[idx].source.resolve(g, resources).and_then(|order| {
-                    let mut ts = template.clone();
-                    let outcome = ts.schedule_all_until(order.iter().copied(), |bound| {
-                        pack(bound, slot) > incumbent.load(Ordering::Relaxed)
-                    })?;
-                    Ok(match outcome {
-                        RunOutcome::Completed => {
-                            let d = ts.diameter();
-                            incumbent.fetch_min(pack(d, slot), Ordering::Relaxed);
-                            (order.len(), Some((d, ts, order)))
-                        }
-                        RunOutcome::Aborted { scheduled } => (scheduled, None),
-                    })
-                });
+                let run = run_candidate(
+                    &candidates[idx],
+                    g,
+                    resources,
+                    &template,
+                    slot,
+                    incumbent,
+                    budget,
+                );
                 if tx.send((idx, run)).is_err() {
                     break;
                 }
@@ -244,31 +334,48 @@ fn race_from(
         }
         drop(tx);
         for (idx, run) in rx {
+            let mut report = RunReport {
+                name: candidates[idx].name.clone(),
+                scheduled: 0,
+                diameter: None,
+                poisoned: None,
+                timed_out: false,
+            };
             match run {
-                Ok((scheduled, completed)) => {
-                    slots[idx] = Some(RunReport {
-                        name: candidates[idx].name.clone(),
-                        scheduled,
-                        diameter: completed.as_ref().map(|&(d, _, _)| d),
-                    });
-                    if let Some((diameter, scheduler, order)) = completed {
-                        let better = best
-                            .as_ref()
-                            .is_none_or(|b| (diameter, idx) < (b.diameter, b.index));
-                        if better {
-                            best = Some(RaceWinner {
-                                diameter,
-                                index: idx,
-                                scheduler,
-                                order,
-                            });
-                        }
+                RunResult::Completed {
+                    scheduled,
+                    diameter,
+                    scheduler,
+                    order,
+                } => {
+                    report.scheduled = scheduled;
+                    report.diameter = Some(diameter);
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| (diameter, idx) < (b.diameter, b.index));
+                    if better {
+                        best = Some(RaceWinner {
+                            diameter,
+                            index: idx,
+                            scheduler: *scheduler,
+                            order,
+                        });
                     }
                 }
-                Err(e) => {
+                RunResult::Aborted { scheduled } => report.scheduled = scheduled,
+                RunResult::TimedOut { scheduled } => {
+                    report.scheduled = scheduled;
+                    report.timed_out = true;
+                }
+                RunResult::Poisoned { scheduled, msg } => {
+                    report.scheduled = scheduled;
+                    report.poisoned = Some(msg);
+                }
+                RunResult::Fatal(e) => {
                     errs[idx] = Some(e);
                 }
             }
+            slots[idx] = Some(report);
         }
     });
     // Report the lowest-index failure: arrival order over the channel
@@ -330,6 +437,11 @@ pub struct PortfolioConfig {
     pub topo_seeds: Vec<u64>,
     /// The feedback-refinement parameters.
     pub refine: RefineConfig,
+    /// Budget applied to every run of the base race and of each
+    /// refinement round; refinement rounds stop launching once its
+    /// wall deadline passes. [`hls_ir::Budget::NONE`] (the default)
+    /// runs unconstrained.
+    pub budget: hls_ir::Budget,
 }
 
 impl Default for PortfolioConfig {
@@ -340,6 +452,7 @@ impl Default for PortfolioConfig {
             random_seeds: vec![0xA11CE, 0xB0B5],
             topo_seeds: vec![0x7E40_0001, 0x7E40_0002],
             refine: RefineConfig::default(),
+            budget: hls_ir::Budget::NONE,
         }
     }
 }
@@ -415,7 +528,10 @@ pub fn base_candidates(cfg: &PortfolioConfig) -> Vec<Candidate> {
 ///
 /// Propagates [`SchedError`] from order construction (e.g.
 /// [`MetaSchedule::ListBased`] without compatible units) or from any
-/// run.
+/// run. When *no* base candidate completes — every run timed out or
+/// was poisoned — returns [`SchedError::Timeout`] (if any run hit the
+/// budget) or [`SchedError::Poisoned`] naming the dead strategies;
+/// a race with at least one survivor succeeds with the best survivor.
 pub fn run_portfolio(
     g: &PrecedenceGraph,
     resources: &ResourceSet,
@@ -425,11 +541,32 @@ pub fn run_portfolio(
     // One pristine scheduler (graph validation, chain cover, bound
     // caches) shared by the base race and every refinement round.
     let template = ThreadedScheduler::new(g.clone(), resources.clone())?;
-    let base = race_from(&template, g, resources, &candidates, cfg.threads, None)?;
+    let base = race_from(
+        &template,
+        g,
+        resources,
+        &candidates,
+        cfg.threads,
+        None,
+        &cfg.budget,
+    )?;
     let mut runs = base.reports;
-    let win = base
-        .best
-        .expect("an unbounded race completes its best candidate");
+    let Some(win) = base.best else {
+        // An unbounded race only fails to produce a winner when every
+        // run was cut down by the budget or by a panic.
+        if runs.iter().any(|r| r.timed_out) {
+            return Err(SchedError::Timeout);
+        }
+        let dead: Vec<&str> = runs
+            .iter()
+            .filter(|r| r.poisoned.is_some())
+            .map(|r| r.name.as_str())
+            .collect();
+        return Err(SchedError::Poisoned(format!(
+            "every portfolio strategy panicked: {}",
+            dead.join(", ")
+        )));
+    };
     let initial_diameter = win.diameter;
     let mut winner = win.scheduler;
     let mut winner_name = candidates[win.index].name.clone();
@@ -443,6 +580,7 @@ pub fn run_portfolio(
         && stall < cfg.refine.stall_rounds
         && rounds < cfg.refine.max_rounds
         && cfg.refine.candidates_per_round > 0
+        && !cfg.budget.wall_expired()
     {
         rounds += 1;
         let cone = cone::critical_cone(&winner, cfg.refine.slack_band);
@@ -481,7 +619,15 @@ pub fn run_portfolio(
                 }
             })
             .collect();
-        let round = race_from(&template, g, resources, &perturbed, cfg.threads, Some(diameter))?;
+        let round = race_from(
+            &template,
+            g,
+            resources,
+            &perturbed,
+            cfg.threads,
+            Some(diameter),
+            &cfg.budget,
+        )?;
         let mut improved = false;
         if let Some(w) = round.best {
             // A bounded race only completes strict improvements.
@@ -538,7 +684,7 @@ mod tests {
         // with a larger slot and must abort — deterministically.
         let g = bench_graphs::ewf();
         let r = ResourceSet::classic(2, 2);
-        let out = race(&g, &r, &two_identical(&g, &r), 1, None).unwrap();
+        let out = race(&g, &r, &two_identical(&g, &r), 1, None, &hls_ir::Budget::NONE).unwrap();
         let win = out.best.expect("first candidate completes");
         assert_eq!(win.index, 0);
         assert_eq!(win.scheduler.diameter(), win.diameter);
@@ -556,7 +702,8 @@ mod tests {
         // The graph's critical path lower-bounds every schedule, so a
         // bound at that value admits no strict improvement.
         let bound = hls_ir::algo::diameter(&g);
-        let out = race(&g, &r, &two_identical(&g, &r), 2, Some(bound)).unwrap();
+        let out = race(&g, &r, &two_identical(&g, &r), 2, Some(bound), &hls_ir::Budget::NONE)
+            .unwrap();
         assert!(out.best.is_none());
         assert!(out.reports.iter().all(|rep| rep.diameter.is_none()));
     }
@@ -572,7 +719,7 @@ mod tests {
                 source: OrderSource::Meta(m),
             })
             .collect();
-        let out = race(&g, &r, &cands, 4, None).unwrap();
+        let out = race(&g, &r, &cands, 4, None, &hls_ir::Budget::NONE).unwrap();
         assert_eq!(out.reports.len(), 4);
         for (rep, c) in out.reports.iter().zip(&cands) {
             assert_eq!(rep.name, c.name);
@@ -583,7 +730,7 @@ mod tests {
     fn empty_candidate_list_is_a_clean_no_op() {
         let g = bench_graphs::hal();
         let r = ResourceSet::classic(2, 2);
-        let out = race(&g, &r, &[], 4, None).unwrap();
+        let out = race(&g, &r, &[], 4, None, &hls_ir::Budget::NONE).unwrap();
         assert!(out.reports.is_empty());
         assert!(out.best.is_none());
     }
@@ -597,7 +744,69 @@ mod tests {
             name: "doomed".into(),
             source: OrderSource::Explicit(order),
         }];
-        assert!(race(&g, &r, &cands, 2, None).is_err());
+        assert!(race(&g, &r, &cands, 2, None, &hls_ir::Budget::NONE).is_err());
+    }
+
+    #[test]
+    fn poisoned_strategy_is_excluded_and_the_best_survivor_wins() {
+        // Arm a fault plan targeting only the doomed candidate's run
+        // scope (names unique to this test, so concurrently running
+        // tests never match the plan): its panic is caught and
+        // recorded, the twin survives and wins the race.
+        let g = bench_graphs::ewf();
+        let r = ResourceSet::classic(2, 2);
+        let order = MetaSchedule::Topological.order(&g, &r).unwrap();
+        let cands = vec![
+            Candidate {
+                name: "race-poison-target".into(),
+                source: OrderSource::Explicit(order.clone()),
+            },
+            Candidate {
+                name: "race-poison-survivor".into(),
+                source: OrderSource::Explicit(order),
+            },
+        ];
+        let _armed = hls_ir::faultinject::arm(
+            hls_ir::faultinject::FaultPlan::panic_at(3).in_run("race-poison-target"),
+        );
+        let out = race(&g, &r, &cands, 2, None, &hls_ir::Budget::NONE).unwrap();
+        let win = out.best.expect("the unpoisoned twin completes");
+        assert_eq!(win.index, 1, "the survivor wins, not the poisoned slot");
+        let dead = &out.reports[0];
+        assert!(
+            dead.poisoned.as_deref().is_some_and(|m| m.contains("injected panic")),
+            "poisoned report carries the panic message: {dead:?}"
+        );
+        assert_eq!(dead.diameter, None);
+        assert!(out.reports[1].poisoned.is_none());
+    }
+
+    #[test]
+    fn step_quota_times_out_every_run_and_the_race_reports_it() {
+        let g = bench_graphs::ewf();
+        let r = ResourceSet::classic(2, 2);
+        let budget = hls_ir::Budget::steps(3);
+        let out = race(&g, &r, &two_identical(&g, &r), 1, None, &budget).unwrap();
+        assert!(out.best.is_none());
+        for rep in &out.reports {
+            assert!(rep.timed_out, "both runs hit the 3-step quota: {rep:?}");
+            assert_eq!(rep.scheduled, 3);
+        }
+    }
+
+    #[test]
+    fn exhausted_portfolio_budget_is_a_typed_timeout() {
+        let g = bench_graphs::ewf();
+        let r = ResourceSet::classic(2, 2);
+        let cfg = PortfolioConfig {
+            threads: 2,
+            budget: hls_ir::Budget::steps(1),
+            ..PortfolioConfig::default()
+        };
+        match run_portfolio(&g, &r, &cfg) {
+            Err(SchedError::Timeout) => {}
+            other => panic!("expected SchedError::Timeout, got {other:?}"),
+        }
     }
 
     #[test]

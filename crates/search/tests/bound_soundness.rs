@@ -32,6 +32,7 @@ fn small_config() -> PortfolioConfig {
             slack_band: 0,
             seed: 1,
         },
+        budget: hls_ir::Budget::NONE,
     }
 }
 

@@ -26,6 +26,7 @@ fn config_with_threads(threads: usize) -> PortfolioConfig {
             slack_band: 0,
             seed: 0x5EED_F00D,
         },
+        budget: hls_ir::Budget::NONE,
     }
 }
 
