@@ -1,0 +1,119 @@
+//! Machine-readable BENCH_5: the scheduler-as-a-service load study.
+//!
+//! Boots an in-process `hls-serve` daemon, estimates capacity from a
+//! sequential warmup, then sweeps an open-loop generator at 0.5×, 1×
+//! and 2× that capacity. Emits `BENCH_5.json` with schedules/sec,
+//! client-side p50/p99 and shed-rate per point, plus the
+//! schedule-cache study (cold vs hit vs ECO replay). The asserts in
+//! `main` *are* the overload contract: every request answered, typed
+//! shedding at 2×, bounded p99 for what was accepted, and an ECO
+//! replay ≥ 5× faster than the cold flow.
+//!
+//! Usage: `serve_json [--quick] [OUTPUT_PATH]` — `--quick` shortens
+//! the sweep windows for CI smoke runs (the JSON carries
+//! `"quick": true`).
+
+use hls_bench::serve_load::{load_report, run_load_study};
+use std::fmt::Write as _;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_5.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let study = run_load_study(quick);
+    print!("{}", load_report(&study));
+
+    // The contract checks. A violation here is a real serving bug,
+    // not a flaky benchmark: shedding is typed and counted, latency
+    // is bounded by the deadline the daemon itself enforces.
+    for p in &study.points {
+        assert_eq!(
+            p.completed + p.shed + p.timeouts + p.errors,
+            p.sent,
+            "every request must be accounted for at {:.1}x",
+            p.rate_mult
+        );
+        assert_eq!(p.errors, 0, "untyped failures at {:.1}x load", p.rate_mult);
+    }
+    let over = study
+        .points
+        .iter()
+        .find(|p| p.rate_mult > 1.5)
+        .expect("sweep includes an overload point");
+    assert!(
+        over.shed > 0,
+        "2x overload must shed (typed), not buffer without bound"
+    );
+    assert!(
+        over.p99_us / 1000 <= 2 * study.deadline_ms,
+        "accepted requests must keep a deadline-bounded p99 under overload \
+         (p99 {} ms vs deadline {} ms)",
+        over.p99_us / 1000,
+        study.deadline_ms
+    );
+    assert!(
+        study.cache.hit_speedup() >= 5.0,
+        "exact resubmission must be >=5x faster than cold ({:.1}x)",
+        study.cache.hit_speedup()
+    );
+    assert!(
+        study.cache.eco_speedup() >= 5.0,
+        "ECO replay must be >=5x faster than cold ({:.1}x)",
+        study.cache.eco_speedup()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_5\",");
+    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(
+        json,
+        "  \"subject\": \"scheduler-as-a-service: open-loop load sweep against the hls-serve daemon (bounded admission queue, per-request deadlines into the degradation ladder, crash isolation) plus the content-hash schedule cache with ECO-delta replay\","
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"workers\": {},", study.workers);
+    let _ = writeln!(json, "  \"queue_capacity\": {},", study.queue_capacity);
+    let _ = writeln!(json, "  \"warmup_mean_us\": {},", study.warmup_mean_us);
+    let _ = writeln!(json, "  \"est_capacity_rps\": {:.2},", study.capacity_rps);
+    let _ = writeln!(json, "  \"deadline_ms\": {},", study.deadline_ms);
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in study.points.iter().enumerate() {
+        let comma = if i + 1 == study.points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"rate_mult\": {}, \"offered_rps\": {:.2}, \"sent\": {}, \
+             \"completed\": {}, \"shed\": {}, \"timeouts\": {}, \"errors\": {}, \
+             \"shed_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"achieved_rps\": {:.2}}}{comma}",
+            p.rate_mult,
+            p.offered_rps,
+            p.sent,
+            p.completed,
+            p.shed,
+            p.timeouts,
+            p.errors,
+            p.shed_rate(),
+            p.p50_us,
+            p.p99_us,
+            p.achieved_rps,
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"cache\": {{");
+    let _ = writeln!(json, "    \"ops\": {},", study.cache.ops);
+    let _ = writeln!(json, "    \"cold_us\": {},", study.cache.cold_us);
+    let _ = writeln!(json, "    \"hit_us\": {},", study.cache.hit_us);
+    let _ = writeln!(json, "    \"eco_us\": {},", study.cache.eco_us);
+    let _ = writeln!(json, "    \"hit_speedup\": {:.2},", study.cache.hit_speedup());
+    let _ = writeln!(json, "    \"eco_speedup\": {:.2}", study.cache.eco_speedup());
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_5 json");
+    println!("wrote {out_path}");
+}

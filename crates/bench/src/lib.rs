@@ -18,7 +18,11 @@
 //!   the certified `MII = max(ResMII, RecMII)` across loop kernels ×
 //!   resource allocations, with the per-cell gap and wall time;
 //! * [`mem`] — the byte-counting global allocator behind the memory
-//!   column of the scaling study.
+//!   column of the scaling study;
+//! * [`serve_load`] — the daemon load study (BENCH_5): open-loop
+//!   throughput and p50/p99 at 0.5×/1×/2× estimated capacity,
+//!   shed-rate under overload, and the schedule-cache hit/ECO-replay
+//!   speedups.
 //!
 //! The binaries under `src/bin/` print the results; `EXPERIMENTS.md`
 //! records them against the paper.
@@ -32,6 +36,7 @@ pub mod mem;
 pub mod meta_ablation;
 pub mod modulo;
 pub mod portfolio;
+pub mod serve_load;
 
 /// Renders a plain-text table: header row plus aligned data rows.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {

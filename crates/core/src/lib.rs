@@ -107,6 +107,11 @@ pub enum SchedError {
     /// A capacity limit was exceeded (e.g. the reachability index's
     /// chain-id space) — the input is too large for this engine.
     ResourceExhausted(String),
+    /// An incremental replay was asked to grow the state toward a
+    /// graph that does not extend the current behavior (or carries
+    /// loop edges the acyclic replay cannot honour); see
+    /// [`ThreadedScheduler::refine_replay`].
+    NotAnExtension,
 }
 
 impl fmt::Display for SchedError {
@@ -128,6 +133,9 @@ impl fmt::Display for SchedError {
             SchedError::Timeout => write!(f, "scheduling budget expired"),
             SchedError::Poisoned(what) => write!(f, "scheduler poisoned: {what}"),
             SchedError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
+            SchedError::NotAnExtension => {
+                write!(f, "target graph does not extend the scheduled behavior")
+            }
         }
     }
 }

@@ -56,6 +56,32 @@ impl DegradeRung {
             DegradeRung::BoundOnly => "bound-only",
         }
     }
+
+    /// Ladder depth: 0 for the full portfolio down to 3 for
+    /// bound-only. Monotone in budget starvation — a larger budget
+    /// never answers from a *deeper* rung than a smaller one (the
+    /// concurrent-load suite asserts this).
+    pub fn rank(self) -> u8 {
+        match self {
+            DegradeRung::Portfolio => 0,
+            DegradeRung::SingleMeta => 1,
+            DegradeRung::ListSchedule => 2,
+            DegradeRung::BoundOnly => 3,
+        }
+    }
+
+    /// The rung with the given [`rank`](Self::rank), if any — the
+    /// inverse used when a rung tag crosses the serve wire format.
+    pub fn from_name(name: &str) -> Option<DegradeRung> {
+        [
+            DegradeRung::Portfolio,
+            DegradeRung::SingleMeta,
+            DegradeRung::ListSchedule,
+            DegradeRung::BoundOnly,
+        ]
+        .into_iter()
+        .find(|r| r.name() == name)
+    }
 }
 
 /// Why a rung was abandoned.

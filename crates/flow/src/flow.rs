@@ -122,7 +122,8 @@ pub struct FlowOutcome {
     /// `hls_ir::schedule::check_modulo` against the input behavior).
     pub modulo: Option<hls_ir::ModuloSchedule>,
     /// The soft scheduler holding the final refined state (and the
-    /// refined behavior graph).
+    /// refined behavior graph). [`eco_flow`] extends this state
+    /// directly when the design is resubmitted with a delta.
     pub scheduler: ThreadedScheduler,
     /// The extracted, validated hard schedule.
     pub schedule: HardSchedule,
@@ -241,6 +242,157 @@ pub fn run_flow(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutco
                 payload.as_ref(),
             )))
         })
+}
+
+/// A finished design an ECO resubmission can extend incrementally:
+/// the post-flow scheduler state, the id map from the graph *as
+/// submitted* to that state, and the placement to reuse. The serve
+/// layer's schedule cache stores one of these per entry.
+#[derive(Clone, Debug)]
+pub struct EcoBase {
+    /// The post-flow scheduler (spills, φ rewrites and wire delays
+    /// already absorbed).
+    pub scheduler: ThreadedScheduler,
+    /// Submitted-graph op index → op id in `scheduler`'s behavior.
+    /// For a cold outcome this is the identity over the submitted
+    /// graph; each [`eco_flow`] extends it with the delta ids.
+    pub map: Vec<hls_ir::OpId>,
+    /// The annealed floorplan of the base design. The delta rides on
+    /// it — placement does not rerun.
+    pub floorplan: Floorplan,
+}
+
+impl EcoBase {
+    /// The base for a cold outcome of `submitted`: identity map onto
+    /// the outcome's scheduler and floorplan.
+    pub fn of_outcome(submitted_ops: usize, out: &FlowOutcome) -> EcoBase {
+        EcoBase {
+            scheduler: out.scheduler.clone(),
+            map: (0..submitted_ops).map(hls_ir::OpId::from_index).collect(),
+            floorplan: out.floorplan.clone(),
+        }
+    }
+}
+
+/// Absorbs an ECO delta into a finished design: `target` (the graph
+/// as resubmitted) must extend the base graph behind `base` — the
+/// caller checks [`PrecedenceGraph::extends`]; this function trusts
+/// `base.map`. The delta cone is scheduled incrementally onto the
+/// cached post-flow state
+/// ([`ThreadedScheduler::refine_graft`](threaded_sched::ThreadedScheduler::refine_graft)),
+/// wire delays are annotated for the *new* edges only against the
+/// cached floorplan, and the design is re-extracted, re-validated and
+/// re-built. Nothing already absorbed — spills, φ rewrites, the
+/// existing wire delays, the placement — is recomputed; that is what
+/// makes resubmission fast.
+///
+/// Returns the new outcome plus the extended [`EcoBase`] for
+/// re-caching under the resubmitted graph's hash. Like [`run_flow`],
+/// no panic crosses this boundary.
+///
+/// # Errors
+///
+/// [`FlowError::Sched`] with
+/// [`SchedError::NotAnExtension`] when the delta cannot ride the
+/// cached state (loop edges, or delta ops of kind `Phi`, which need
+/// the flow's register-aware resolution); [`FlowError::Timeout`] on
+/// budget expiry; otherwise the errors of the finishing phases.
+/// Callers fall back to the cold flow on non-timeout errors.
+pub fn eco_flow(
+    base: EcoBase,
+    target: &PrecedenceGraph,
+    config: &FlowConfig,
+    budget: &hls_ir::Budget,
+) -> Result<(FlowOutcome, EcoBase), FlowError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        eco_flow_inner(base, target, config, budget)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(FlowError::Poisoned(threaded_sched::panic_message(
+            payload.as_ref(),
+        )))
+    })
+}
+
+fn eco_flow_inner(
+    mut base: EcoBase,
+    target: &PrecedenceGraph,
+    config: &FlowConfig,
+    budget: &hls_ir::Budget,
+) -> Result<(FlowOutcome, EcoBase), FlowError> {
+    // Delta φs would need register allocation to resolve; that is the
+    // cold flow's job, not the delta path's.
+    for i in base.map.len()..target.len() {
+        if target.kind(hls_ir::OpId::from_index(i)) == OpKind::Phi {
+            return Err(FlowError::Sched(SchedError::NotAnExtension));
+        }
+    }
+
+    let mut ts = base.scheduler;
+    let initial_states = ts.diameter();
+    let before_len = ts.graph().len();
+    let added = ts
+        .refine_graft(target, &mut base.map, budget)
+        .map_err(|e| match e {
+            SchedError::Timeout => FlowError::Timeout,
+            other => FlowError::Sched(other),
+        })?;
+
+    // Wire delays for the delta only: edges between pre-existing ops
+    // already carry theirs (as absorbed delay vertices), so only
+    // transfers touching a grafted op are new.
+    let hard = ts.extract_hard();
+    let matrix = hls_phys::traffic_matrix(ts.graph(), &hard, &config.resources);
+    let transfers = annotate(ts.graph(), &hard, &base.floorplan, config.wire_model);
+    let mut wire_delays = 0usize;
+    for t in transfers {
+        if t.from.index() < before_len && t.to.index() < before_len {
+            continue;
+        }
+        if budget.expired((added.len() + wire_delays) as u64) {
+            return Err(FlowError::Timeout);
+        }
+        refine::insert_wire_delay(&mut ts, t.from, t.to, t.cycles)?;
+        wire_delays += 1;
+    }
+    let wirelength = base.floorplan.wirelength(&matrix);
+
+    // Extract, validate, build — identical to the cold flow's step 6.
+    let schedule = ts.extract_hard();
+    sched_check::validate(ts.graph(), &config.resources, &schedule)
+        .map_err(|e| FlowError::Invalid(e.to_string()))?;
+    let final_states = ts.diameter();
+    let ls = lifetimes::lifetimes(ts.graph(), &schedule)
+        .map_err(|e| FlowError::Lifetime(e.to_string()))?;
+    let registers = left_edge::allocate(&ls);
+    let fsmd = crate::Fsmd::build(ts.graph(), &schedule, &registers, &config.resources);
+
+    let report = FlowReport {
+        pipeline: None,
+        initial_states,
+        spills: 0,
+        phis_to_moves: 0,
+        phis_voided: 0,
+        wire_delays,
+        final_states,
+        registers: registers.register_count(),
+        wirelength,
+    };
+    let next_base = EcoBase {
+        scheduler: ts.clone(),
+        map: base.map,
+        floorplan: base.floorplan.clone(),
+    };
+    let outcome = FlowOutcome {
+        modulo: None,
+        scheduler: ts,
+        schedule,
+        registers,
+        floorplan: base.floorplan,
+        fsmd,
+        report,
+    };
+    Ok((outcome, next_base))
 }
 
 fn run_flow_inner(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {

@@ -32,8 +32,9 @@ pub use degrade::{
     run_flow_degraded, DegradeReason, DegradeRung, DegradeStep, DegradedOutcome,
 };
 pub use flow::{
-    run_flow, run_flow_dfg, run_flow_source, FlowConfig, FlowError, FlowOutcome, FlowReport,
-    PipelineReport,
+    eco_flow, run_flow, run_flow_dfg, run_flow_source, EcoBase, FlowConfig, FlowError,
+    FlowOutcome, FlowReport, PipelineReport,
 };
+pub use hls_phys::Floorplan;
 pub use fsmd::{Fsmd, MicroOp};
 pub use sim::{eval_dfg, simulate_datapath, synth_inputs, SimError};

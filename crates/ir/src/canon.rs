@@ -1,0 +1,209 @@
+//! Canonical content hashing of precedence graphs.
+//!
+//! The scheduler-as-a-service layer (`crates/serve`) keys its schedule
+//! cache on *what a graph means to the schedulers*, not on the bytes it
+//! arrived in. Two graphs are **canonically equal** when they agree on
+//! everything the scheduling engines read — operation count, kinds,
+//! delays, and the edge set with carried distances — while labels,
+//! operand expressions and the textual formatting (comments, blank
+//! lines, label spelling) are free to differ. A resubmitted graph whose
+//! labels were renamed hashes identically and hits the cache.
+//!
+//! [`graph_hash`] folds that canonical form into a 128-bit digest
+//! (two independently-seeded 64-bit FNV-1a streams). The hash is fast
+//! and deterministic but **not** cryptographic: an adversary who wants
+//! a collision can construct one. Consumers must therefore treat the
+//! digest as an *index*, never as proof of identity — the serve cache
+//! stores the canonical graph alongside each entry and confirms a hit
+//! with [`canon_eq`] before answering from it, so a collision costs one
+//! wasted probe, not a wrong schedule.
+
+use crate::PrecedenceGraph;
+
+/// A 128-bit streaming hasher: two 64-bit FNV-1a streams with distinct
+/// offset bases, fed the same bytes. Used for the canonical graph
+/// digest and, by the serve layer, to fold the server's resource
+/// configuration into its cache key.
+#[derive(Clone, Debug)]
+pub struct CanonHasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+// A second, independent offset basis (the golden-ratio constant) so the
+// two streams decorrelate.
+const OFFSET_B: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl CanonHasher {
+    /// A fresh hasher.
+    pub fn new() -> CanonHasher {
+        CanonHasher {
+            a: OFFSET_A,
+            b: OFFSET_B,
+        }
+    }
+
+    /// Folds raw bytes into both streams.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into both streams.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// Folds a `usize` into both streams.
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+impl Default for CanonHasher {
+    fn default() -> Self {
+        CanonHasher::new()
+    }
+}
+
+/// Folds the canonical form of `g` into `h` (see the [module
+/// docs](self) for what "canonical" covers).
+pub fn write_graph(h: &mut CanonHasher, g: &PrecedenceGraph) {
+    h.write_usize(g.len());
+    for v in g.op_ids() {
+        h.write_u64(g.kind(v) as u64);
+        h.write_u64(g.delay(v));
+    }
+    h.write_usize(g.edge_count());
+    for (a, b, d) in g.edges_dist() {
+        h.write_usize(a.index());
+        h.write_usize(b.index());
+        h.write_u64(u64::from(d));
+    }
+}
+
+/// The 128-bit canonical digest of `g` alone.
+pub fn graph_hash(g: &PrecedenceGraph) -> u128 {
+    let mut h = CanonHasher::new();
+    write_graph(&mut h, g);
+    h.finish()
+}
+
+/// Canonical equality: same operation count, kinds, delays and edge
+/// set (with carried distances). Labels and operands are ignored —
+/// they do not affect scheduling. This is the collision-proof check
+/// behind every cache hit keyed by [`graph_hash`].
+pub fn canon_eq(x: &PrecedenceGraph, y: &PrecedenceGraph) -> bool {
+    if x.len() != y.len() || x.edge_count() != y.edge_count() {
+        return false;
+    }
+    for v in x.op_ids() {
+        if x.kind(v) != y.kind(v) || x.delay(v) != y.delay(v) {
+            return false;
+        }
+    }
+    // Edge iteration order is per-op adjacency order, which can differ
+    // between two graphs built by different routes; compare sorted.
+    let mut ex: Vec<(usize, usize, u32)> =
+        x.edges_dist().map(|(a, b, d)| (a.index(), b.index(), d)).collect();
+    let mut ey: Vec<(usize, usize, u32)> =
+        y.edges_dist().map(|(a, b, d)| (a.index(), b.index(), d)).collect();
+    ex.sort_unstable();
+    ey.sort_unstable();
+    ex == ey
+}
+
+/// Renders a digest as 32 lowercase hex digits (the wire spelling the
+/// serve protocol's `base=` field uses).
+pub fn hash_to_hex(h: u128) -> String {
+    format!("{h:032x}")
+}
+
+/// Parses the 32-hex-digit spelling back into a digest.
+pub fn hash_from_hex(s: &str) -> Option<u128> {
+    if s.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_graphs, generate, OpKind};
+
+    #[test]
+    fn hash_ignores_labels_and_operands() {
+        let g = bench_graphs::ewf();
+        // Rebuild with different labels.
+        let mut renamed = PrecedenceGraph::new();
+        for v in g.op_ids() {
+            renamed.add_op(g.kind(v), g.delay(v), format!("renamed_{}", v.index()));
+        }
+        for (a, b, d) in g.edges_dist() {
+            renamed.add_dep_edge(a, b, d).unwrap();
+        }
+        assert_eq!(graph_hash(&g), graph_hash(&renamed));
+        assert!(canon_eq(&g, &renamed));
+    }
+
+    #[test]
+    fn hash_sees_kinds_delays_and_edges() {
+        let g = bench_graphs::hal();
+        let base = graph_hash(&g);
+
+        let mut kinded = g.clone();
+        let v = kinded.op_ids().next().unwrap();
+        kinded.set_kind(v, OpKind::Logic);
+        assert_ne!(graph_hash(&kinded), base);
+
+        let mut delayed = g.clone();
+        let v = delayed.op_ids().next().unwrap();
+        delayed.set_delay(v, 17);
+        assert_ne!(graph_hash(&delayed), base);
+        assert!(!canon_eq(&delayed, &g));
+    }
+
+    #[test]
+    fn hash_sees_carried_distance() {
+        let mk = |d: u32| {
+            let mut g = PrecedenceGraph::new();
+            let a = g.add_op(OpKind::Mul, 2, "a");
+            let b = g.add_op(OpKind::Add, 1, "b");
+            g.add_edge(a, b).unwrap();
+            g.add_dep_edge(b, a, d).unwrap();
+            g
+        };
+        assert_ne!(graph_hash(&mk(1)), graph_hash(&mk(2)));
+        assert!(!canon_eq(&mk(1), &mk(2)));
+    }
+
+    #[test]
+    fn distinct_random_graphs_do_not_collide_in_practice() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for seed in 0..64u64 {
+            let g = generate::stress_dag(seed, 40);
+            assert!(seen.insert(graph_hash(&g)), "collision at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hex_spelling_roundtrips() {
+        let h = graph_hash(&bench_graphs::fir());
+        let hex = hash_to_hex(h);
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hash_from_hex(&hex), Some(h));
+        assert_eq!(hash_from_hex("xyz"), None);
+        assert_eq!(hash_from_hex(""), None);
+    }
+}

@@ -51,6 +51,11 @@ pub struct FaultPlan {
     /// Restrict the plan to runs whose [`RunScope`] name equals this;
     /// `None` matches every run (including un-scoped callers).
     pub target: Option<String>,
+    /// Restrict the plan to runs whose [`RunScope`] name *starts with*
+    /// this — e.g. `"serve:"` hits every request a scheduling daemon
+    /// serves while sparing the harness's own runs. Composes with
+    /// [`FaultPlan::target`] (both must match when both are set).
+    pub target_prefix: Option<String>,
     /// Constant forward skew added to every [`now`] read.
     pub clock_skew: std::time::Duration,
     /// Additional forward skew per committed operation of the current
@@ -72,6 +77,15 @@ impl FaultPlan {
     #[must_use]
     pub fn in_run(mut self, name: impl Into<String>) -> FaultPlan {
         self.target = Some(name.into());
+        self
+    }
+
+    /// This plan restricted to runs whose scope name starts with
+    /// `prefix` (serve-path targeting: every request scope of a
+    /// daemon is named `serve:req<N>`).
+    #[must_use]
+    pub fn in_runs_prefixed(mut self, prefix: impl Into<String>) -> FaultPlan {
+        self.target_prefix = Some(prefix.into());
         self
     }
 }
@@ -127,7 +141,11 @@ mod armed_impl {
         let plan = unpoisoned(PLAN.lock()).clone();
         match plan {
             Some(p) => {
-                c.active = p.target.as_deref().is_none_or(|t| t == c.scope);
+                c.active = p.target.as_deref().is_none_or(|t| t == c.scope)
+                    && p
+                        .target_prefix
+                        .as_deref()
+                        .is_none_or(|t| c.scope.starts_with(t));
                 c.panic_at = p.panic_at_commit;
                 c.skew = p.clock_skew;
                 c.per_commit = p.clock_skew_per_commit;
@@ -377,6 +395,17 @@ mod tests {
         tick_commit(); // must not panic
         drop(_scope);
         let _scope = RunScope::enter("victim");
+        assert!(std::panic::catch_unwind(tick_commit).is_err());
+    }
+
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn prefix_targeted_plan_hits_matching_scopes_only() {
+        let _armed = arm(FaultPlan::panic_at(1).in_runs_prefixed("serve:"));
+        let _scope = RunScope::enter("portfolio:dfs");
+        tick_commit(); // must not panic
+        drop(_scope);
+        let _scope = RunScope::enter("serve:req7");
         assert!(std::panic::catch_unwind(tick_commit).is_err());
     }
 

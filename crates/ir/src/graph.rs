@@ -302,6 +302,39 @@ impl PrecedenceGraph {
         g
     }
 
+    /// `true` if this graph *extends* `base`: the first `base.len()`
+    /// operations agree on kind and delay (labels are free to differ),
+    /// and the edge set restricted to those operations is identical
+    /// (including carried distances). Extra operations and any edges
+    /// touching them are the extension — exactly the shape of an
+    /// engineering-change resubmission, which the serve layer's
+    /// schedule cache replays incrementally instead of rescheduling
+    /// from scratch.
+    pub fn extends(&self, base: &PrecedenceGraph) -> bool {
+        let n = base.len();
+        if self.len() < n {
+            return false;
+        }
+        for i in 0..n {
+            let v = OpId::from_index(i);
+            if self.kind(v) != base.kind(v) || self.delay(v) != base.delay(v) {
+                return false;
+            }
+        }
+        // Compare the induced edge sets on the first n ops as sorted
+        // (from, to, dist) triples; adjacency order may differ.
+        let induced = |g: &PrecedenceGraph| {
+            let mut e: Vec<(usize, usize, u32)> = g
+                .edges_dist()
+                .filter(|&(a, b, _)| a.index() < n && b.index() < n)
+                .map(|(a, b, d)| (a.index(), b.index(), d))
+                .collect();
+            e.sort_unstable();
+            e
+        };
+        induced(self) == induced(base)
+    }
+
     /// Checks that the graph is a well-formed *loop kernel*: every
     /// cycle must pass through at least one positive-distance edge —
     /// equivalently, the distance-0 subgraph (the

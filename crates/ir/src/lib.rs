@@ -38,6 +38,7 @@ pub mod algo;
 pub mod bench_graphs;
 mod bitmatrix;
 pub mod budget;
+pub mod canon;
 pub mod dot;
 pub mod faultinject;
 pub mod generate;

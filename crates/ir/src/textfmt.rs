@@ -6,9 +6,13 @@
 //! ```text
 //! # comment
 //! op <id> <kind> <delay> <label>
-//! edge <from> <to>
+//! edge <from> <to> [distance]
 //! operand <id> op:<id> | const:<int> | in:<name>
 //! ```
+//!
+//! `edge` takes an optional inter-iteration distance (omitted and `0`
+//! both mean an intra-iteration dependence); loop kernels round-trip
+//! with their carried edges intact.
 //!
 //! Ids are dense indices in declaration order; `kind` uses the
 //! mnemonics of [`OpKind`] plus names (`add`, `mul`, ...).
@@ -89,8 +93,12 @@ pub fn to_text(g: &PrecedenceGraph) -> String {
             g.label(v)
         );
     }
-    for (a, b) in g.edges() {
-        let _ = writeln!(out, "edge {} {}", a.index(), b.index());
+    for (a, b, d) in g.edges_dist() {
+        if d == 0 {
+            let _ = writeln!(out, "edge {} {}", a.index(), b.index());
+        } else {
+            let _ = writeln!(out, "edge {} {} {}", a.index(), b.index(), d);
+        }
     }
     for v in g.op_ids() {
         for operand in g.operands(v) {
@@ -121,7 +129,56 @@ fn tokens(raw: &str) -> impl Iterator<Item = Token<'_>> {
     })
 }
 
-/// Parses the text format back into a graph.
+/// Structural capacity limits for parsing untrusted input.
+///
+/// A serving daemon cannot let one request allocate without bound, so
+/// the parser can enforce hard ceilings *while* parsing — the error
+/// carries the position where the limit was crossed, not a generic
+/// failure after the damage is done. [`Limits::UNBOUNDED`] (what
+/// [`from_text`] uses) disables every check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum input size in bytes; blamed at the byte where the limit
+    /// is crossed.
+    pub max_bytes: usize,
+    /// Maximum number of `op` declarations.
+    pub max_ops: usize,
+    /// Maximum number of `edge` declarations.
+    pub max_edges: usize,
+}
+
+impl Limits {
+    /// No limits (trusted input).
+    pub const UNBOUNDED: Limits = Limits {
+        max_bytes: usize::MAX,
+        max_ops: usize::MAX,
+        max_edges: usize::MAX,
+    };
+
+    /// Defaults for a network-facing parser: 4 MiB of text, 200k ops,
+    /// 2M edges — far above any legitimate workload in this repo, far
+    /// below an allocation bomb.
+    pub fn serving() -> Limits {
+        Limits {
+            max_bytes: 4 << 20,
+            max_ops: 200_000,
+            max_edges: 2_000_000,
+        }
+    }
+}
+
+/// The 1-based (line, col) of byte `offset` in `text`, for blaming a
+/// size-limit crossing on a real position.
+fn position_of(text: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(text.len());
+    let before = &text.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + before.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
+}
+
+/// Parses the text format back into a graph, with no capacity limits
+/// ([`from_text_limited`] with [`Limits::UNBOUNDED`]).
 ///
 /// This is the untrusted boundary: any byte sequence (lossily decoded
 /// to `&str`) must yield `Ok` or a typed error, never a panic — the
@@ -133,6 +190,30 @@ fn tokens(raw: &str) -> impl Iterator<Item = Token<'_>> {
 /// lines, unknown kinds or directives, out-of-order ids, invalid
 /// edges, or operand references to undeclared ops.
 pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
+    from_text_limited(text, &Limits::UNBOUNDED)
+}
+
+/// Parses the text format back into a graph, rejecting input that
+/// crosses the given [`Limits`] with a positioned error.
+///
+/// # Errors
+///
+/// Everything [`from_text`] rejects, plus `input exceeds N bytes` /
+/// `op limit exceeded` / `edge limit exceeded`, each blamed at the
+/// line and column where the limit was crossed.
+pub fn from_text_limited(text: &str, limits: &Limits) -> Result<PrecedenceGraph, ParseDfgError> {
+    if text.len() > limits.max_bytes {
+        let (line, col) = position_of(text, limits.max_bytes);
+        return Err(ParseDfgError {
+            line,
+            col,
+            msg: format!(
+                "input exceeds {} bytes ({} received)",
+                limits.max_bytes,
+                text.len()
+            ),
+        });
+    }
     let mut g = PrecedenceGraph::new();
     // Deferred so `op:` references may point forward; each remembers
     // its source position for the post-pass check.
@@ -150,6 +231,12 @@ pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
         let Some(directive) = parts.next() else { continue };
         match directive.text {
             "op" => {
+                if g.len() >= limits.max_ops {
+                    return Err(err(
+                        directive.col,
+                        format!("op limit exceeded (max {})", limits.max_ops),
+                    ));
+                }
                 let id_tok = parts.next();
                 let id: usize = parse_field(id_tok, "id", lineno, end_col)?;
                 if id != g.len() {
@@ -164,10 +251,24 @@ pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
                 g.add_op(kind, delay, if label.is_empty() { format!("v{id}") } else { label });
             }
             "edge" => {
+                if g.edge_count() >= limits.max_edges {
+                    return Err(err(
+                        directive.col,
+                        format!("edge limit exceeded (max {})", limits.max_edges),
+                    ));
+                }
                 let a_tok = parts.next();
                 let a: usize = parse_field(a_tok, "from", lineno, end_col)?;
                 let b: usize = parse_field(parts.next(), "to", lineno, end_col)?;
-                g.add_edge(OpId::from_index(a), OpId::from_index(b))
+                // Optional carried distance; absent means 0
+                // (intra-iteration).
+                let dist: u32 = match parts.next() {
+                    Some(tok) => tok.text.parse().map_err(|_| {
+                        err(tok.col, format!("bad distance `{}`", tok.text))
+                    })?,
+                    None => 0,
+                };
+                g.add_dep_edge(OpId::from_index(a), OpId::from_index(b), dist)
                     .map_err(|e: IrError| err(a_tok.map_or(end_col, |t| t.col), e.to_string()))?;
             }
             "operand" => {
@@ -218,8 +319,15 @@ pub fn from_text(text: &str) -> Result<PrecedenceGraph, ParseDfgError> {
             g.set_operands(OpId::from_index(i), ops);
         }
     }
-    g.validate()
-        .map_err(|e| ParseDfgError { line: 0, col: 0, msg: e.to_string() })?;
+    // A behavior with carried (positive-distance) edges is a loop
+    // kernel: cycles are legal exactly when every one passes through a
+    // carried edge. Plain DAG validation would misreject them.
+    if g.has_loop_edges() {
+        g.validate_kernel()
+    } else {
+        g.validate()
+    }
+    .map_err(|e| ParseDfgError { line: 0, col: 0, msg: e.to_string() })?;
     Ok(g)
 }
 
@@ -347,6 +455,71 @@ mod tests {
             }
         }
         assert!(trials >= 256, "corpus shrank: only {trials} trials");
+    }
+
+    #[test]
+    fn carried_distance_edges_roundtrip() {
+        for (name, g) in bench_graphs::loops() {
+            let text = to_text(&g);
+            let back = from_text(&text).unwrap();
+            let mut want: Vec<_> = g.edges_dist().collect();
+            let mut got: Vec<_> = back.edges_dist().collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_distance_is_a_positioned_error() {
+        let err = from_text("op 0 add 1 a\nop 1 add 1 b\nedge 0 1 banana\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn distance_zero_cycles_are_still_rejected() {
+        // A dist-0 cycle is illegal even in a kernel that also has
+        // carried edges.
+        let text = "op 0 add 1 a\nop 1 add 1 b\nedge 0 1\nedge 1 0\nedge 1 1 1\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.msg.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_at_the_crossing_byte() {
+        let limits = Limits {
+            max_bytes: 20,
+            ..Limits::serving()
+        };
+        let text = "op 0 add 1 a\nop 1 add 1 b\nedge 0 1\n";
+        let err = from_text_limited(text, &limits).unwrap_err();
+        assert!(err.msg.contains("exceeds 20 bytes"), "{err}");
+        // Byte 20 is inside line 2.
+        assert_eq!(err.line, 2);
+        assert!(err.col > 0);
+        // Under the limit, the same text parses.
+        assert!(from_text_limited(text, &Limits::serving()).is_ok());
+    }
+
+    #[test]
+    fn op_and_edge_limits_are_positioned_errors() {
+        let limits = Limits {
+            max_ops: 2,
+            max_edges: 1,
+            ..Limits::UNBOUNDED
+        };
+        let err =
+            from_text_limited("op 0 add 1 a\nop 1 add 1 b\nop 2 add 1 c\n", &limits).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("op limit exceeded"), "{err}");
+        let err = from_text_limited(
+            "op 0 add 1 a\nop 1 add 1 b\nop 2 add 1 c\nedge 0 1\nedge 1 2\n",
+            &Limits { max_ops: 8, ..limits },
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.msg.contains("edge limit exceeded"), "{err}");
     }
 
     #[test]

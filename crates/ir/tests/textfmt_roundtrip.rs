@@ -1,0 +1,135 @@
+//! Property tests for the textfmt wire format: parse∘print identity
+//! on generated graphs (acyclic and loop kernels, with operands), and
+//! panic-free, *positioned* rejection of truncated or oversized
+//! input. The serve daemon feeds network bytes straight into this
+//! parser, so "never panics, always blames a position" is a load-
+//! bearing property, not a nicety.
+
+use hls_ir::textfmt::{self, Limits};
+use hls_ir::{bench_graphs, generate, sim_operands, OpId, PrecedenceGraph};
+
+/// Structural equality over everything the wire format carries.
+fn assert_same(a: &PrecedenceGraph, b: &PrecedenceGraph) {
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        let v = OpId::from_index(i);
+        assert_eq!(a.kind(v), b.kind(v), "kind of op {i}");
+        assert_eq!(a.delay(v), b.delay(v), "delay of op {i}");
+        assert_eq!(a.label(v), b.label(v), "label of op {i}");
+        assert_eq!(a.operands(v), b.operands(v), "operands of op {i}");
+    }
+    let edges = |g: &PrecedenceGraph| {
+        let mut e: Vec<(usize, usize, u32)> = g
+            .edges_dist()
+            .map(|(x, y, d)| (x.index(), y.index(), d))
+            .collect();
+        e.sort_unstable();
+        e
+    };
+    assert_eq!(edges(a), edges(b));
+}
+
+fn corpus() -> Vec<PrecedenceGraph> {
+    let mut graphs: Vec<PrecedenceGraph> = bench_graphs::all()
+        .into_iter()
+        .map(|(_, g)| g)
+        .collect();
+    // Loop kernels: carried-distance edges must survive the wire.
+    graphs.extend(bench_graphs::loops().into_iter().map(|(_, g)| g));
+    // Seeded random DAGs, a few with inferred operand annotations.
+    for seed in 0..24u64 {
+        let mut g = generate::stress_dag(0xD0C_0000 + seed, 60 + (seed as usize % 5) * 37);
+        if seed % 3 == 0 {
+            sim_operands::infer(&mut g);
+        }
+        graphs.push(g);
+    }
+    graphs
+}
+
+#[test]
+fn print_parse_is_the_identity_on_generated_graphs() {
+    for (i, g) in corpus().into_iter().enumerate() {
+        let text = textfmt::to_text(&g);
+        let back = textfmt::from_text(&text)
+            .unwrap_or_else(|e| panic!("graph #{i} failed to re-parse: {e}"));
+        assert_same(&g, &back);
+        // And the printed form is a fixed point.
+        assert_eq!(text, textfmt::to_text(&back), "graph #{i} print not stable");
+    }
+}
+
+#[test]
+fn truncated_input_never_panics_and_errors_carry_positions() {
+    // Truncating a valid document at an arbitrary byte must yield
+    // either a (smaller) valid graph or a typed error with an
+    // in-bounds position — never a panic, never a nonsense position.
+    let mut g = generate::stress_dag(0xBAD_C0DE, 120);
+    sim_operands::infer(&mut g);
+    let mut docs = vec![textfmt::to_text(&g)];
+    for (_, k) in bench_graphs::loops() {
+        docs.push(textfmt::to_text(&k));
+    }
+    for doc in docs {
+        for cut in 0..doc.len() {
+            let prefix = &doc[..cut];
+            if !prefix.is_char_boundary(prefix.len()) {
+                continue;
+            }
+            match textfmt::from_text(prefix) {
+                Ok(sub) => assert!(sub.len() <= g.len().max(64)),
+                Err(e) => {
+                    let lines = prefix.lines().count().max(1);
+                    assert!(
+                        e.line <= lines,
+                        "error line {} beyond {} lines of input",
+                        e.line,
+                        lines
+                    );
+                    // Rendering must embed the position.
+                    let shown = e.to_string();
+                    assert!(
+                        shown.contains(&format!("line {}", e.line)) || e.line == 0,
+                        "unpositioned error `{shown}`"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_input_is_rejected_at_the_crossing_byte_not_after_allocation() {
+    let g = generate::stress_dag(0xFEED, 200);
+    let text = textfmt::to_text(&g);
+    let limits = Limits {
+        max_bytes: text.len() / 2,
+        ..Limits::serving()
+    };
+    let e = textfmt::from_text_limited(&text, &limits).unwrap_err();
+    assert!(e.msg.contains("exceeds"), "unexpected message `{}`", e.msg);
+    // The blamed position is where the limit was crossed — inside the
+    // document, not line 0 / end-of-input.
+    assert!(e.line >= 1 && e.line < text.lines().count());
+}
+
+#[test]
+fn op_and_edge_bombs_are_rejected_by_count_limits() {
+    let g = generate::stress_dag(0x0B0E, 150);
+    let text = textfmt::to_text(&g);
+    let tight_ops = Limits {
+        max_ops: 10,
+        ..Limits::serving()
+    };
+    let e = textfmt::from_text_limited(&text, &tight_ops).unwrap_err();
+    assert!(e.msg.contains("op limit"), "got `{}`", e.msg);
+    assert_eq!(e.line, 12, "blamed at the first op past the limit");
+
+    let tight_edges = Limits {
+        max_edges: 5,
+        ..Limits::serving()
+    };
+    let e = textfmt::from_text_limited(&text, &tight_edges).unwrap_err();
+    assert!(e.msg.contains("edge limit"), "got `{}`", e.msg);
+    assert!(e.line > 0);
+}

@@ -1,0 +1,132 @@
+//! The scheduling daemon.
+//!
+//! ```text
+//! served [tcp:HOST:PORT | unix:/PATH] [--workers N] [--queue N]
+//!        [--conns N] [--max-bytes N] [--deadline-ms N]
+//!        [--max-deadline-ms N] [--cache N] [--pipeline]
+//! ```
+//!
+//! Listens until SIGTERM/SIGINT, then drains gracefully: stops
+//! accepting, lets running requests finish under their deadlines,
+//! answers queued ones bound-only, prints final counters and exits 0.
+
+use hls_serve::{BindAddr, ServeConfig, Server};
+use std::time::Duration;
+
+/// SIGTERM/SIGINT latch. `signal(2)` is in every libc the std binary
+/// already links; declaring it directly avoids a crate dependency.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn stopped() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: served [tcp:HOST:PORT | unix:/PATH] [--workers N] [--queue N] [--conns N]\n\
+         \x20             [--max-bytes N] [--deadline-ms N] [--max-deadline-ms N] [--cache N]\n\
+         \x20             [--pipeline]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> (BindAddr, ServeConfig) {
+    let mut addr = BindAddr::Tcp("127.0.0.1:7411".into());
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        fn numeric(args: &mut dyn Iterator<Item = String>) -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        }
+        match arg.as_str() {
+            "--workers" => cfg.workers = numeric(&mut args) as usize,
+            "--queue" => cfg.queue_capacity = numeric(&mut args) as usize,
+            "--conns" => cfg.max_connections = numeric(&mut args) as usize,
+            "--max-bytes" => cfg.max_request_bytes = numeric(&mut args) as usize,
+            "--deadline-ms" => cfg.default_deadline = Duration::from_millis(numeric(&mut args)),
+            "--max-deadline-ms" => cfg.max_deadline = Duration::from_millis(numeric(&mut args)),
+            "--cache" => cfg.cache_capacity = numeric(&mut args) as usize,
+            "--pipeline" => {
+                cfg.flow.pipeline = Some(hls_search::PipelineConfig::default());
+            }
+            "--help" | "-h" => usage(),
+            other => match BindAddr::parse(other) {
+                Ok(a) => addr = a,
+                Err(e) => {
+                    eprintln!("served: {e}");
+                    usage()
+                }
+            },
+        }
+    }
+    (addr, cfg)
+}
+
+fn main() {
+    let (addr, cfg) = parse_args();
+    sig::install();
+    let server = match Server::start(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("served: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("served: listening on {}", server.addr());
+
+    while !sig::stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    eprintln!("served: draining");
+    let stats = server.shutdown(Duration::from_secs(10));
+    eprintln!(
+        "served: done — received={} admitted={} completed={} shed={} drained={} \
+         malformed={} toolarge={} timeouts={} poisoned={} cache_hits={} eco_hits={} \
+         bound_only={}",
+        stats.received,
+        stats.admitted,
+        stats.completed,
+        stats.shed,
+        stats.drain_rejects,
+        stats.malformed,
+        stats.toolarge,
+        stats.timeouts,
+        stats.poisoned,
+        stats.cache_hits,
+        stats.eco_hits,
+        stats.bound_only,
+    );
+}

@@ -1,0 +1,263 @@
+//! The schedule cache: canonical-hash keyed, LRU-bounded,
+//! collision-safe.
+//!
+//! Keys are [`hls_ir::canon::graph_hash`] values of the *canonical
+//! form* of a behavior (labels and operand annotations excluded), so
+//! a graph resubmitted under different names still hits. The hash is
+//! an index, never an oracle: every hit is confirmed with
+//! [`hls_ir::canon::canon_eq`] against the stored graph, so a
+//! 128-bit collision costs one failed probe, not a wrong schedule.
+//!
+//! Each entry keeps an [`EcoBase`] — the post-flow scheduler state,
+//! id map and floorplan — alongside the answer summary, which is what
+//! makes the ECO fast path possible: a request whose graph
+//! [`extends`](hls_ir::PrecedenceGraph::extends) a cached base clones
+//! that state and grafts only the delta
+//! ([`hls_flow::eco_flow`]).
+
+use hls_flow::EcoBase;
+use hls_ir::canon;
+use hls_ir::PrecedenceGraph;
+use std::collections::HashMap;
+
+/// The cached answer for one canonical graph.
+#[derive(Clone, Debug)]
+pub struct CachedAnswer {
+    /// Rung tag the original answer carried.
+    pub rung: String,
+    /// Final schedule length.
+    pub states: u64,
+    /// Certified lower bound.
+    pub lower_bound: u64,
+}
+
+struct Entry {
+    graph: PrecedenceGraph,
+    base: EcoBase,
+    answer: CachedAnswer,
+    stamp: u64,
+}
+
+/// Cache observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Confirmed exact hits.
+    pub hits: u64,
+    /// Probes that found no (confirmed) entry.
+    pub misses: u64,
+    /// Hash matches whose stored graph was *not* canonically equal —
+    /// a 128-bit collision, counted to make "never trust the hash
+    /// alone" observable.
+    pub collisions: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+/// Bounded LRU cache of schedules, keyed by canonical content hash.
+pub struct ScheduleCache {
+    map: HashMap<u128, Entry>,
+    capacity: usize,
+    /// Entries above this op count are not retained (a snapshot of a
+    /// huge graph is memory the admission queue already refused to
+    /// hold).
+    max_entry_ops: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// An empty cache retaining at most `capacity` entries of at most
+    /// `max_entry_ops` operations each. `capacity == 0` disables
+    /// caching entirely.
+    pub fn new(capacity: usize, max_entry_ops: usize) -> ScheduleCache {
+        ScheduleCache {
+            map: HashMap::new(),
+            capacity,
+            max_entry_ops,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(tick: &mut u64, e: &mut Entry) {
+        *tick += 1;
+        e.stamp = *tick;
+    }
+
+    /// Looks up an exact answer for `g` under `hash`, confirming the
+    /// hit canonically.
+    pub fn lookup(&mut self, hash: u128, g: &PrecedenceGraph) -> Option<CachedAnswer> {
+        match self.map.get_mut(&hash) {
+            Some(e) if canon::canon_eq(&e.graph, g) => {
+                Self::touch(&mut self.tick, e);
+                self.stats.hits += 1;
+                Some(e.answer.clone())
+            }
+            Some(_) => {
+                self.stats.collisions += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the [`EcoBase`] for the cached base `hash` iff `target`
+    /// extends the stored graph — the entry ticket for the ECO graft
+    /// path. Does not count as a hit or miss; the caller reports the
+    /// graft outcome.
+    pub fn base_for_eco(&mut self, hash: u128, target: &PrecedenceGraph) -> Option<EcoBase> {
+        let e = self.map.get_mut(&hash)?;
+        if !target.extends(&e.graph) {
+            return None;
+        }
+        Self::touch(&mut self.tick, e);
+        Some(e.base.clone())
+    }
+
+    /// Inserts (or refreshes) an answer. Oversized graphs and a
+    /// zero-capacity cache are silently skipped.
+    pub fn insert(
+        &mut self,
+        hash: u128,
+        graph: PrecedenceGraph,
+        base: EcoBase,
+        answer: CachedAnswer,
+    ) {
+        if self.capacity == 0 || graph.len() > self.max_entry_ops {
+            return;
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        self.map.insert(
+            hash,
+            Entry {
+                graph,
+                base,
+                answer,
+                stamp,
+            },
+        );
+        if self.map.len() > self.capacity {
+            // O(n) eviction scan; capacity is small (hundreds) and
+            // insertion is off the cache-hit fast path.
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_flow::Floorplan;
+    use hls_ir::bench_graphs;
+    use hls_ir::{OpId, ResourceSet};
+    use threaded_sched::ThreadedScheduler;
+
+    fn entry_for(g: &PrecedenceGraph) -> (u128, EcoBase, CachedAnswer) {
+        let ts = ThreadedScheduler::new(g.clone(), ResourceSet::uniform(2)).unwrap();
+        let base = EcoBase {
+            scheduler: ts,
+            map: (0..g.len()).map(OpId::from_index).collect(),
+            floorplan: Floorplan::row_major(2, 2, 1),
+        };
+        let answer = CachedAnswer {
+            rung: "portfolio".into(),
+            states: 17,
+            lower_bound: 9,
+        };
+        (canon::graph_hash(g), base, answer)
+    }
+
+    #[test]
+    fn hit_requires_canonical_equality_not_just_the_hash() {
+        let g = bench_graphs::ewf();
+        let (h, base, answer) = entry_for(&g);
+        let mut cache = ScheduleCache::new(4, 10_000);
+        cache.insert(h, g.clone(), base, answer);
+
+        assert!(cache.lookup(h, &g).is_some());
+        // Same hash key, different graph: the probe must fail and be
+        // counted as a collision, never answered.
+        let other = bench_graphs::fir();
+        assert!(cache.lookup(h, &other).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.collisions), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_touched_entry() {
+        let graphs = [
+            bench_graphs::ewf(),
+            bench_graphs::fir(),
+            bench_graphs::ar(),
+        ];
+        let mut cache = ScheduleCache::new(2, 10_000);
+        let hashes: Vec<u128> = graphs
+            .iter()
+            .map(|g| {
+                let (h, base, a) = entry_for(g);
+                cache.insert(h, g.clone(), base, a);
+                h
+            })
+            .collect();
+        assert_eq!(cache.len(), 2);
+        // ewf was inserted first and never touched again → evicted.
+        assert!(cache.lookup(hashes[0], &graphs[0]).is_none());
+        assert!(cache.lookup(hashes[2], &graphs[2]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eco_ticket_requires_extension() {
+        let g = bench_graphs::ewf();
+        let (h, base, answer) = entry_for(&g);
+        let mut cache = ScheduleCache::new(4, 10_000);
+        cache.insert(h, g.clone(), base, answer);
+
+        // The graph trivially extends itself.
+        assert!(cache.base_for_eco(h, &g).is_some());
+        // An unrelated graph is not an extension.
+        assert!(cache.base_for_eco(h, &bench_graphs::fir()).is_none());
+        // An unknown base yields nothing.
+        assert!(cache.base_for_eco(h ^ 1, &g).is_none());
+    }
+
+    #[test]
+    fn oversized_and_zero_capacity_entries_are_not_retained() {
+        let g = bench_graphs::ewf();
+        let (h, base, answer) = entry_for(&g);
+        let mut off = ScheduleCache::new(0, 10_000);
+        off.insert(h, g.clone(), base.clone(), answer.clone());
+        assert!(off.is_empty());
+        let mut tiny = ScheduleCache::new(4, 3);
+        tiny.insert(h, g, base, answer);
+        assert!(tiny.is_empty());
+    }
+}

@@ -79,11 +79,18 @@ fn main() -> Result<(), SchedError> {
         );
     }
 
+    // Final validation gates the exit status: an invalid schedule
+    // must fail the run (and CI), not print `false` and exit 0.
+    if let Err(e) =
+        soft_hls::ir::schedule::validate(ts.graph(), &resources, &ts.extract_hard())
+    {
+        eprintln!("error: final schedule failed validation: {e}");
+        std::process::exit(1);
+    }
     println!(
-        "\nfinal behavior: {} ops across {} threads; schedule still valid: {}",
+        "\nfinal behavior: {} ops across {} threads; schedule validated",
         ts.graph().len(),
         ts.thread_count(),
-        soft_hls::ir::schedule::validate(ts.graph(), &resources, &ts.extract_hard()).is_ok()
     );
     Ok(())
 }

@@ -19,7 +19,10 @@
 //!   critical-cone refinement, plus the modulo portfolio that races
 //!   meta orders per candidate initiation interval for loop
 //!   pipelining;
-//! * [`flow`] — the end-to-end flow producing an FSMD and RTL skeleton.
+//! * [`flow`] — the end-to-end flow producing an FSMD and RTL skeleton;
+//! * [`serve`] — the scheduling daemon: bounded admission, per-request
+//!   deadlines and crash isolation, graceful drain, and a canonical
+//!   content-hash schedule cache with an ECO-delta fast path.
 //!
 //! ## Quickstart
 //!
@@ -46,4 +49,5 @@ pub use hls_ir as ir;
 pub use hls_lang as lang;
 pub use hls_phys as phys;
 pub use hls_search as search;
+pub use hls_serve as serve;
 pub use threaded_sched as sched;
