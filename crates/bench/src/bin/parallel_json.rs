@@ -1,0 +1,78 @@
+//! Regenerates `BENCH_6.json`: the partition-parallel scaling study.
+//!
+//! ```text
+//! cargo run --release -p hls-bench --bin parallel_json [-- --quick] \
+//!     [--out PATH] [--workers N] [--graph SPEC]
+//! ```
+//!
+//! The full run measures the sequential engine at every size including
+//! the 10⁶-op point (minutes); `--quick` keeps the 10⁶-op *parallel*
+//! run but caps the sequential reference at 10⁵ ops so a CI smoke
+//! finishes inside its timeout. `--graph` appends one extra point for
+//! a workload resolved through the shared loader (`hls_ir::load`): a
+//! named kernel, `stress:<seed>:<ops>`, or a `.dfg` file.
+
+use hls_bench::parallel::{measure_spec, report, run_study};
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_6.json".to_string();
+    let mut workers = 8usize;
+    let mut graph: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers takes a count")
+            }
+            "--graph" => graph = Some(args.next().expect("--graph takes a workload spec")),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let sizes = [20_000usize, 100_000, 300_000, 1_000_000];
+    let sequential_cutoff = if quick { 100_000 } else { usize::MAX };
+    let mut points = run_study(&sizes, workers, sequential_cutoff);
+    if let Some(spec) = &graph {
+        match measure_spec(spec, workers, true) {
+            Ok(p) => points.push(p),
+            Err(e) => {
+                eprintln!("--graph {spec}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for p in &points {
+        let speedup = p
+            .speedup()
+            .map_or("-".to_string(), |s| format!("{s:.2}x"));
+        println!(
+            "{:>12} ops {:>8} -> parallel {:>7} ms ({} blocks, {} cut), speedup {}",
+            p.name, p.ops, p.parallel_ms, p.blocks, p.cut_edges, speedup
+        );
+    }
+
+    let json = report(&points, workers, quick);
+    std::fs::write(&out_path, &json).expect("writing the bench JSON must succeed");
+    println!("wrote {out_path}");
+
+    // The acceptance gate of the full run: the million-op point exists
+    // and the parallel engine beats sequential by at least 3x there.
+    if !quick {
+        let million = points
+            .iter()
+            .find(|p| p.ops >= 1_000_000)
+            .expect("the sweep includes a 1M-op point");
+        let speedup = million.speedup().expect("full runs measure sequential at 1M");
+        assert!(
+            speedup >= 3.0,
+            "1M-op speedup {speedup:.2}x below the 3x acceptance bar"
+        );
+    }
+}

@@ -22,7 +22,12 @@
 //! * [`serve_load`] — the daemon load study (BENCH_5): open-loop
 //!   throughput and p50/p99 at 0.5×/1×/2× estimated capacity,
 //!   shed-rate under overload, and the schedule-cache hit/ECO-replay
-//!   speedups.
+//!   speedups;
+//! * [`parallel`] — the partition-parallel scaling study (BENCH_6):
+//!   balanced min-cut partition + per-block scheduling on worker
+//!   threads + linear seam stitch, vs the sequential engine up to 10⁶
+//!   ops, with the stitched-vs-sequential quality gap and the
+//!   certified lower bound.
 //!
 //! The binaries under `src/bin/` print the results; `EXPERIMENTS.md`
 //! records them against the paper.
@@ -35,6 +40,7 @@ pub mod fig3;
 pub mod mem;
 pub mod meta_ablation;
 pub mod modulo;
+pub mod parallel;
 pub mod portfolio;
 pub mod serve_load;
 

@@ -1,0 +1,221 @@
+//! BENCH_6: partition-parallel scaling to million-op behaviors.
+//!
+//! The sequential engine's wall time at scale is dominated by
+//! whole-graph terms (the superlinear chain-cover index build and
+//! out-of-cache flat tables); `ParallelScheduler` decomposes the
+//! behavior into balanced blocks, schedules them on worker threads and
+//! stitches the seams in one linear pass. This study measures both
+//! engines on the BENCH_2 workload family
+//! ([`crate::complexity::sweep_config`]) up to 10⁶ operations and
+//! records the schedule-quality cost of decomposition (stitched vs
+//! sequential diameter, and both vs the certified lower bound).
+
+use std::time::Instant;
+
+use hls_ir::{generate, load, PrecedenceGraph, ResourceSet};
+use threaded_sched::{
+    meta::MetaSchedule, parallel::ParallelConfig, ParallelScheduler, ThreadedScheduler,
+};
+
+use crate::complexity::sweep_config;
+
+/// One measured size point of the scaling study.
+#[derive(Clone, Debug)]
+pub struct ParallelPoint {
+    /// Workload name (`sweep-<n>` for generated points).
+    pub name: String,
+    /// Number of operations.
+    pub ops: usize,
+    /// Edges in the DFG.
+    pub edges: usize,
+    /// Sequential `schedule_all` wall time, milliseconds (`None` if
+    /// skipped — quick mode skips the 10⁶ sequential run).
+    pub sequential_ms: Option<u128>,
+    /// Sequential diameter (`None` when the run was skipped).
+    pub sequential_diameter: Option<u64>,
+    /// Partition-parallel wall time (partitioning included),
+    /// milliseconds.
+    pub parallel_ms: u128,
+    /// Stitched diameter.
+    pub parallel_diameter: u64,
+    /// Certified lower bound from the reservation ledger and the
+    /// critical path.
+    pub lower_bound: u64,
+    /// Partition blocks used.
+    pub blocks: usize,
+    /// Cut edges of the partition.
+    pub cut_edges: usize,
+}
+
+impl ParallelPoint {
+    /// Sequential-over-parallel wall-time ratio, when both ran.
+    pub fn speedup(&self) -> Option<f64> {
+        self.sequential_ms
+            .map(|s| s as f64 / (self.parallel_ms.max(1)) as f64)
+    }
+}
+
+/// Measures one graph under both engines. `workers` sizes the parallel
+/// pool; `run_sequential` gates the (possibly minutes-long) sequential
+/// reference.
+///
+/// # Panics
+///
+/// Panics if the workload fails to schedule (cannot happen for the
+/// generated sweep: ALU/MUL ops under `ResourceSet::classic`).
+pub fn measure(
+    name: &str,
+    g: &PrecedenceGraph,
+    resources: &ResourceSet,
+    workers: usize,
+    run_sequential: bool,
+) -> ParallelPoint {
+    let (sequential_ms, sequential_diameter) = if run_sequential {
+        let t0 = Instant::now();
+        let order = MetaSchedule::Topological
+            .order(g, resources)
+            .expect("sweep workload is a DAG");
+        let mut ts = ThreadedScheduler::new(g.clone(), resources.clone())
+            .expect("sweep workload is valid");
+        ts.schedule_all(order).expect("sweep workload is schedulable");
+        (Some(t0.elapsed().as_millis()), Some(ts.diameter()))
+    } else {
+        (None, None)
+    };
+
+    let cfg = ParallelConfig { workers, sequential_cutoff: 0, ..ParallelConfig::default() };
+    let t0 = Instant::now();
+    let ps = ParallelScheduler::new(g.clone(), resources.clone(), cfg)
+        .expect("sweep workload is valid");
+    let run = ps.run().expect("sweep workload is schedulable");
+    let parallel_ms = t0.elapsed().as_millis();
+
+    ParallelPoint {
+        name: name.to_string(),
+        ops: g.len(),
+        edges: g.edge_count(),
+        sequential_ms,
+        sequential_diameter,
+        parallel_ms,
+        parallel_diameter: run.diameter,
+        lower_bound: run.lower_bound,
+        blocks: ps.partition().parts(),
+        cut_edges: run.cut_edges,
+    }
+}
+
+/// Measures a workload resolved through the shared loader
+/// ([`hls_ir::load`]): a named kernel, a `stress:<seed>:<ops>` spec or
+/// a `.dfg` file.
+///
+/// # Errors
+///
+/// Propagates [`hls_ir::load::LoadError`] verbatim.
+pub fn measure_spec(
+    spec: &str,
+    workers: usize,
+    run_sequential: bool,
+) -> Result<ParallelPoint, load::LoadError> {
+    let (name, g) = load::load_graph(spec)?;
+    let resources = ResourceSet::classic(2, 2);
+    Ok(measure(&name, &g, &resources, workers, run_sequential))
+}
+
+/// Runs the scaling study. The sequential reference runs at every
+/// size at or below `sequential_cutoff` ops (above it only the
+/// parallel engine runs — quick mode uses this to keep CI smokes
+/// inside their timeout).
+pub fn run_study(sizes: &[usize], workers: usize, sequential_cutoff: usize) -> Vec<ParallelPoint> {
+    let resources = ResourceSet::classic(2, 2);
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = generate::layered_dag(0x5EED ^ n as u64, &sweep_config(n));
+            measure(&format!("sweep-{n}"), &g, &resources, workers, n <= sequential_cutoff)
+        })
+        .collect()
+}
+
+/// Renders the study as the BENCH_6 JSON document.
+pub fn report(points: &[ParallelPoint], workers: usize, quick: bool) -> String {
+    let headline = points
+        .iter()
+        .filter_map(ParallelPoint::speedup)
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"BENCH_6\",\n");
+    out.push_str("  \"pr\": 8,\n");
+    out.push_str(
+        "  \"subject\": \"partition-parallel scheduling: balanced min-cut partition + \
+         per-block soft scheduling on worker threads + linear seam stitch, vs the \
+         sequential engine\",\n",
+    );
+    out.push_str(
+        "  \"workload\": \"layered DFG, bounded mean in-degree ~6, \
+         ResourceSet::classic(2,2), topological meta order (complexity::sweep_config)\",\n",
+    );
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"headline_speedup\": {headline:.2},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let seq_ms = p.sequential_ms.map_or("null".to_string(), |v| v.to_string());
+        let seq_d = p
+            .sequential_diameter
+            .map_or("null".to_string(), |v| v.to_string());
+        let speedup = p
+            .speedup()
+            .map_or("null".to_string(), |v| format!("{v:.2}"));
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"edges\": {}, \"sequential_ms\": {}, \
+             \"parallel_ms\": {}, \"speedup\": {}, \"sequential_diameter\": {}, \
+             \"parallel_diameter\": {}, \"lower_bound\": {}, \"blocks\": {}, \
+             \"cut_edges\": {}}}{}\n",
+            p.name,
+            p.ops,
+            p.edges,
+            seq_ms,
+            p.parallel_ms,
+            speedup,
+            seq_d,
+            p.parallel_diameter,
+            p.lower_bound,
+            p.blocks,
+            p.cut_edges,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_points_are_internally_consistent() {
+        let points = run_study(&[2000, 5000], 2, usize::MAX);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.lower_bound <= p.parallel_diameter);
+            let seq = p.sequential_diameter.unwrap();
+            assert!(p.lower_bound <= seq);
+            assert!(p.speedup().is_some());
+            assert!(p.blocks >= 1);
+        }
+        let json = report(&points, 2, true);
+        assert!(json.contains("\"bench\": \"BENCH_6\""));
+        assert!(json.contains("\"ops\": 5000"));
+    }
+
+    #[test]
+    fn loader_backed_points_work() {
+        let p = measure_spec("ewf", 2, true).unwrap();
+        assert_eq!(p.name, "EWF");
+        let seq = p.sequential_diameter.unwrap();
+        assert!(p.lower_bound <= seq && p.lower_bound <= p.parallel_diameter);
+        assert!(measure_spec("no-such-workload", 2, false).is_err());
+    }
+}

@@ -53,10 +53,34 @@ use hls_ir::{
     ResourceSet,
 };
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Missing-edge / missing-node sentinel in the flat edge and reach
 /// tables.
 const NONE: u32 = u32::MAX;
+
+/// The immutable graph-side state of a scheduler: the behavior graph,
+/// the chain-cover reachability index over it, and its static sink
+/// distances. Everything in here is a pure function of the *behavior*
+/// — it never changes while operations are merely scheduled, only
+/// under behavior-extending refinement (splice, add-op, retype). The
+/// scheduler holds it behind an [`Arc`] so clones (portfolio runs,
+/// parallel-stitch materialisation, serve-cache templates) share one
+/// copy; refinement goes through [`Arc::make_mut`] copy-on-write.
+#[derive(Clone, Debug)]
+struct GraphCore {
+    g: PrecedenceGraph,
+    /// Chain-cover reachability index over the behavior graph —
+    /// `O(|V| · #chains)` memory instead of the seed's two dense
+    /// `Θ(|V|²)`-bit closure matrices — repaired locally under
+    /// refinement.
+    reach: ReachIndex,
+    /// Static behavior-graph sink distances `‖v→‖_G` (inclusive),
+    /// indexed by op — the tail term of the final-diameter lower
+    /// bound. Recomputed on graph growth and delay retyping (cold
+    /// paths).
+    gdist: Vec<u64>,
+}
 
 /// `(sdist, tdist, reach_b, reach_f)` of a from-scratch recomputation.
 type FullLabels = (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>);
@@ -151,12 +175,15 @@ struct TdistLazy {
 /// wire delays) and the state coherently.
 #[derive(Clone, Debug)]
 pub struct ThreadedScheduler {
-    g: PrecedenceGraph,
-    /// Chain-cover reachability index over the behavior graph —
-    /// `O(|V| · #chains)` memory instead of the seed's two dense
-    /// `Θ(|V|²)`-bit closure matrices — repaired locally under
-    /// refinement.
-    reach: ReachIndex,
+    /// The immutable graph-side core — behavior graph, reachability
+    /// index, static sink distances — shared (`Arc`) across scheduler
+    /// clones: a portfolio of runs over one behavior, or the parallel
+    /// scheduler's stitched state, pays for the graph and its index
+    /// once. Refinement operations that *do* extend the behavior
+    /// (splice, add-op, retype, index growth) go through
+    /// [`Arc::make_mut`] — copy-on-write, so divergent clones stay
+    /// isolated while read-only clones stay free.
+    core: Arc<GraphCore>,
     /// Per-chain scheduled-position extrema, maintained with one
     /// `O(1)` insert per commit. `select`'s frontier-walk pruning
     /// probes the set through [`ReachIndex::set_reaches`] /
@@ -170,11 +197,6 @@ pub struct ThreadedScheduler {
     /// per-operation early-abort probes of
     /// [`ThreadedScheduler::schedule_all_until`].
     diam: u64,
-    /// Static behavior-graph sink distances `‖v→‖_G` (inclusive),
-    /// indexed by op — the tail term of the final-diameter lower
-    /// bound. Recomputed on graph growth and delay retyping (cold
-    /// paths).
-    gdist: Vec<u64>,
     /// Running maximum of `sdist(a) − D(a) + ‖a→‖_G` over scheduled
     /// ops: a certified lower bound on the diameter any *completed*
     /// run extending this state must reach (every graph descendant of
@@ -250,12 +272,10 @@ impl ThreadedScheduler {
         let k = resources.k();
         let mut ts = ThreadedScheduler {
             node_of: vec![None; g.len()],
-            g,
-            reach,
+            core: Arc::new(GraphCore { g, reach, gdist }),
             sched_extrema,
             resources,
             diam: 0,
-            gdist,
             proj: 0,
             res_floor: 0,
             n_thread: Vec::with_capacity(2 * k),
@@ -287,7 +307,7 @@ impl ThreadedScheduler {
     /// The scheduler's working copy of the precedence graph (grows under
     /// refinement).
     pub fn graph(&self) -> &PrecedenceGraph {
-        &self.g
+        &self.core.g
     }
 
     /// The functional-unit allocation.
@@ -381,7 +401,7 @@ impl ThreadedScheduler {
     /// refinement rounds.
     pub fn schedule_lower_bound(&self) -> u64 {
         self.res_floor
-            .max(self.gdist.iter().copied().max().unwrap_or(0))
+            .max(self.core.gdist.iter().copied().max().unwrap_or(0))
     }
 
     /// The distance `‖←v→‖ = sdist(v) + tdist(v) − D(v)` of a scheduled
@@ -401,7 +421,7 @@ impl ThreadedScheduler {
     /// probes — e.g. [`ReachIndex::convex_closure`] for critical-cone
     /// extraction — without rebuilding the index.
     pub fn reach_index(&self) -> &ReachIndex {
-        &self.reach
+        &self.core.reach
     }
 
     /// Schedules one operation: `select` then `commit` (the paper's
@@ -418,7 +438,7 @@ impl ThreadedScheduler {
     /// boundary — but the state is permanently unusable afterwards).
     pub fn schedule(&mut self, v: OpId) -> Result<Placement, SchedError> {
         self.check_poisoned()?;
-        if v.index() >= self.g.len() {
+        if v.index() >= self.core.g.len() {
             return Err(SchedError::UnknownOp(v));
         }
         if let Some(n) = self.node_of[v.index()] {
@@ -452,7 +472,7 @@ impl ThreadedScheduler {
     /// through the public API.
     fn schedule_isolated(&mut self, v: OpId, late: bool) -> Result<Placement, SchedError> {
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if self.g.kind(v).resource_class() == ResourceClass::Wire {
+            if self.core.g.kind(v).resource_class() == ResourceClass::Wire {
                 return self.schedule_wire(v);
             }
             let placement = if late { self.select_late(v)? } else { self.select(v)? };
@@ -560,7 +580,7 @@ impl ThreadedScheduler {
                 best = Some(p);
             }
         })?;
-        best.ok_or(SchedError::NoCompatibleUnit(v, self.g.kind(v)))
+        best.ok_or(SchedError::NoCompatibleUnit(v, self.core.g.kind(v)))
     }
 
     /// Like [`ThreadedScheduler::select`], but among cost-tied optimal
@@ -575,7 +595,7 @@ impl ThreadedScheduler {
                 best = Some(p);
             }
         })?;
-        best.ok_or(SchedError::NoCompatibleUnit(v, self.g.kind(v)))
+        best.ok_or(SchedError::NoCompatibleUnit(v, self.core.g.kind(v)))
     }
 
     /// Schedules `v` at the latest cost-optimal position (see
@@ -586,7 +606,7 @@ impl ThreadedScheduler {
     /// Same contract as [`ThreadedScheduler::schedule`].
     pub fn schedule_late(&mut self, v: OpId) -> Result<Placement, SchedError> {
         self.check_poisoned()?;
-        if v.index() >= self.g.len() {
+        if v.index() >= self.core.g.len() {
             return Err(SchedError::UnknownOp(v));
         }
         if self.is_scheduled(v) {
@@ -637,7 +657,7 @@ impl ThreadedScheduler {
                 n
             }
         };
-        let n = self.alloc_raw_node(k, self.g.delay(v));
+        let n = self.alloc_raw_node(k, self.core.g.delay(v));
 
         // Chain insertion after pos_node, with gap-numbered positions.
         let next = self.out[pos_node as usize * s + k];
@@ -650,7 +670,7 @@ impl ThreadedScheduler {
 
         self.node_of[v.index()] = Some(n);
         self.op_of[n as usize] = Some(v);
-        self.sched_extrema.insert(&self.reach, v.index());
+        self.sched_extrema.insert(&self.core.reach, v.index());
 
         // Figure 2 rules for the scheduled frontier (dominated ancestors
         // and descendants are already ordered through it — DESIGN.md §4).
@@ -692,8 +712,8 @@ impl ThreadedScheduler {
     /// the threaded graph; resource exclusion is already encoded in the
     /// thread chains). Unscheduled operations are left unassigned.
     pub fn extract_hard(&self) -> HardSchedule {
-        let mut sched = HardSchedule::new(self.g.len());
-        for v in self.g.op_ids() {
+        let mut sched = HardSchedule::new(self.core.g.len());
+        for v in self.core.g.op_ids() {
             if let Some(n) = self.node_of[v.index()] {
                 let n = n as usize;
                 let unit = if (self.n_thread[n] as usize) < self.resources.k() {
@@ -709,8 +729,8 @@ impl ThreadedScheduler {
         // register. Pushing a Load to `min(successor starts) − delay`
         // respects every state edge (including the memory-port chain),
         // so the schedule stays legal.
-        for v in self.g.op_ids() {
-            if self.g.kind(v) != OpKind::Load {
+        for v in self.core.g.op_ids() {
+            if self.core.g.kind(v) != OpKind::Load {
                 continue;
             }
             let Some(n) = self.node_of[v.index()] else { continue };
@@ -747,7 +767,7 @@ impl ThreadedScheduler {
         let mut snap_of = vec![usize::MAX; self.op_of.len()];
         for (n, &op) in self.op_of.iter().enumerate() {
             let Some(op) = op else { continue };
-            let id = graph.add_op(self.g.kind(op), self.n_delay[n], self.g.label(op));
+            let id = graph.add_op(self.core.g.kind(op), self.n_delay[n], self.core.g.label(op));
             snap_of[n] = id.index();
             ops.push(op);
             threads.push(self.n_thread[n] as usize);
@@ -783,13 +803,13 @@ impl ThreadedScheduler {
         to: OpId,
         chain: impl IntoIterator<Item = (OpKind, u64, String)>,
     ) -> Result<Vec<OpId>, SchedError> {
-        let inserted = self.g.splice_on_edge(from, to, chain)?;
+        let inserted = Arc::make_mut(&mut self.core).g.splice_on_edge(from, to, chain)?;
         self.sync_graph_growth()?;
         for &v in &inserted {
             // Reloads go as late as their slack allows so the spilled
             // value stays in memory, not in a register; everything else
             // keeps the default (earliest-optimal) tie-break.
-            if self.g.kind(v) == OpKind::Load {
+            if self.core.g.kind(v) == OpKind::Load {
                 self.schedule_late(v)?;
             } else {
                 self.schedule(v)?;
@@ -813,14 +833,15 @@ impl ThreadedScheduler {
         preds: &[OpId],
         succs: &[OpId],
     ) -> Result<OpId, SchedError> {
-        let v = self.g.add_op(kind, delay, label);
+        let core = Arc::make_mut(&mut self.core);
+        let v = core.g.add_op(kind, delay, label);
         for &p in preds {
-            self.g.add_edge(p, v)?;
+            core.g.add_edge(p, v)?;
         }
         for &q in succs {
-            self.g.add_edge(v, q)?;
+            core.g.add_edge(v, q)?;
         }
-        if self.g.validate().is_err() {
+        if self.core.g.validate().is_err() {
             return Err(SchedError::WouldCycle(v));
         }
         self.sync_graph_growth()?;
@@ -858,18 +879,18 @@ impl ThreadedScheduler {
         target: &PrecedenceGraph,
         budget: &hls_ir::Budget,
     ) -> Result<Vec<OpId>, SchedError> {
-        if target.has_loop_edges() || !target.extends(&self.g) {
+        if target.has_loop_edges() || !target.extends(&self.core.g) {
             return Err(SchedError::NotAnExtension);
         }
-        let mut added = Vec::with_capacity(target.len() - self.g.len());
-        for i in self.g.len()..target.len() {
+        let mut added = Vec::with_capacity(target.len() - self.core.g.len());
+        for i in self.core.g.len()..target.len() {
             if budget.expired(added.len() as u64) {
                 return Err(SchedError::Timeout);
             }
             let v = OpId::from_index(i);
             // Edges to ops not yet added are attached later, from the
             // other endpoint, once it arrives (ids grow monotonically).
-            let existing = self.g.len();
+            let existing = self.core.g.len();
             let preds: Vec<OpId> = target
                 .preds(v)
                 .iter()
@@ -972,8 +993,8 @@ impl ThreadedScheduler {
                 out,
                 "  n{} [label=\"{} ({})\\nthr {} @{}\", fillcolor={}];",
                 n,
-                self.g.label(op),
-                self.g.kind(op),
+                self.core.g.label(op),
+                self.core.g.kind(op),
                 self.n_thread[n],
                 self.n_sdist[n] - self.n_delay[n],
                 COLORS[self.n_thread[n] as usize % COLORS.len()],
@@ -1004,8 +1025,9 @@ impl ThreadedScheduler {
     /// The new kind must stay zero-resource (or match the thread the
     /// operation already occupies); this is the caller's contract.
     pub fn retype_op(&mut self, v: OpId, kind: OpKind, delay: u64) {
-        self.g.set_kind(v, kind);
-        self.g.set_delay(v, delay);
+        let core = Arc::make_mut(&mut self.core);
+        core.g.set_kind(v, kind);
+        core.g.set_delay(v, delay);
         if let Some(n) = self.node_of[v.index()] {
             self.total_delay = self.total_delay - self.n_delay[n as usize] + delay;
             self.n_delay[n as usize] = delay;
@@ -1102,14 +1124,14 @@ impl ThreadedScheduler {
         // The chain-cover index must agree exactly with the dense
         // closure oracle, and the per-chain scheduled extrema with the
         // actual scheduled set.
-        self.reach
-            .check(&self.g)
+        self.core.reach
+            .check(&self.core.g)
             .map_err(|e| format!("reach index: {e}"))?;
-        if self.sched_extrema.chain_count() != self.reach.chain_count() {
+        if self.sched_extrema.chain_count() != self.core.reach.chain_count() {
             return Err("scheduled extrema disagree with chain count".to_string());
         }
-        let want = self.reach.extrema(
-            self.g
+        let want = self.core.reach.extrema(
+            self.core.g
                 .op_ids()
                 .filter(|v| self.node_of[v.index()].is_some())
                 .map(|v| v.index()),
@@ -1128,13 +1150,13 @@ impl ThreadedScheduler {
                 self.diam
             ));
         }
-        if self.gdist != hls_ir::algo::sink_distances(&self.g) {
+        if self.core.gdist != hls_ir::algo::sink_distances(&self.core.g) {
             return Err("stale graph sink distances".to_string());
         }
         let want_proj = (0..n_nodes)
             .filter_map(|n| {
                 self.op_of[n]
-                    .map(|op| sdist[n] - self.n_delay[n] + self.gdist[op.index()])
+                    .map(|op| sdist[n] - self.n_delay[n] + self.core.gdist[op.index()])
             })
             .max()
             .unwrap_or(0);
@@ -1373,8 +1395,8 @@ impl ThreadedScheduler {
             sc.epoch = 0;
         }
         sc.epoch += 1;
-        if sc.op_seen.len() < self.g.len() {
-            sc.op_seen.resize(self.g.len(), 0);
+        if sc.op_seen.len() < self.core.g.len() {
+            sc.op_seen.resize(self.core.g.len(), 0);
         }
         if sc.lo.len() < self.threads {
             sc.lo.resize(self.threads, NONE);
@@ -1387,14 +1409,14 @@ impl ThreadedScheduler {
     /// reaches `x`. `O(#chains)`, branchless — this replaces the seed's
     /// `Θ(|V|/64)` closure-row ∩ scheduled-mask probe.
     fn has_scheduled_ancestor(&self, x: usize) -> bool {
-        self.reach.set_reaches(&self.sched_extrema, x)
+        self.core.reach.set_reaches(&self.sched_extrema, x)
     }
 
     /// `true` iff op `x` has a scheduled strict descendant — the mirror
     /// of [`Self::has_scheduled_ancestor`] against the per-chain
     /// scheduled maxima.
     fn has_scheduled_descendant(&self, x: usize) -> bool {
-        self.reach.set_reached_by(&self.sched_extrema, x)
+        self.core.reach.set_reached_by(&self.sched_extrema, x)
     }
 
     /// Walks the *scheduled frontier* of `v`: the first scheduled
@@ -1409,7 +1431,7 @@ impl ThreadedScheduler {
         sc.preds_f.clear();
         sc.succs_f.clear();
         sc.stack.clear();
-        for &p in self.g.preds(v) {
+        for &p in self.core.g.preds(v) {
             sc.stack.push(p.index() as u32);
         }
         while let Some(x) = sc.stack.pop() {
@@ -1421,7 +1443,7 @@ impl ThreadedScheduler {
             if let Some(n) = self.node_of[xi] {
                 sc.preds_f.push(n);
             } else if self.has_scheduled_ancestor(xi) {
-                for &p in self.g.preds(OpId::from_index(xi)) {
+                for &p in self.core.g.preds(OpId::from_index(xi)) {
                     sc.stack.push(p.index() as u32);
                 }
             }
@@ -1430,7 +1452,7 @@ impl ThreadedScheduler {
         // epoch marks are shared between the two walks.
         if self.has_scheduled_descendant(v.index()) {
             sc.stack.clear();
-            for &q in self.g.succs(v) {
+            for &q in self.core.g.succs(v) {
                 sc.stack.push(q.index() as u32);
             }
             while let Some(x) = sc.stack.pop() {
@@ -1442,7 +1464,7 @@ impl ThreadedScheduler {
                 if let Some(n) = self.node_of[xi] {
                     sc.succs_f.push(n);
                 } else if self.has_scheduled_descendant(xi) {
-                    for &q in self.g.succs(OpId::from_index(xi)) {
+                    for &q in self.core.g.succs(OpId::from_index(xi)) {
                         sc.stack.push(q.index() as u32);
                     }
                 }
@@ -1516,10 +1538,10 @@ impl ThreadedScheduler {
         v: OpId,
         mut f: impl FnMut(Placement),
     ) -> Result<(), SchedError> {
-        if v.index() >= self.g.len() {
+        if v.index() >= self.core.g.len() {
             return Err(SchedError::UnknownOp(v));
         }
-        let kind = self.g.kind(v);
+        let kind = self.core.g.kind(v);
         if !(0..self.resources.k()).any(|k| self.resources.compatible(k, kind)) {
             return Err(SchedError::NoCompatibleUnit(v, kind));
         }
@@ -1527,7 +1549,7 @@ impl ThreadedScheduler {
         self.prep_scratch(&mut sc);
         self.collect_frontiers(v, &mut sc);
         let (isrc, isnk) = self.absorb_windows(&mut sc);
-        let delay = self.g.delay(v);
+        let delay = self.core.g.delay(v);
         let s = self.stride;
         for k in 0..self.resources.k() {
             if !self.resources.compatible(k, kind) {
@@ -1680,7 +1702,7 @@ impl ThreadedScheduler {
         if let Some(op) = self.op_of[n] {
             self.proj = self
                 .proj
-                .max(self.n_sdist[n] - self.n_delay[n] + self.gdist[op.index()]);
+                .max(self.n_sdist[n] - self.n_delay[n] + self.core.gdist[op.index()]);
         }
     }
 
@@ -1691,7 +1713,8 @@ impl ThreadedScheduler {
     /// but delay retyping can shrink it, so the running maxima must be
     /// rebuilt, not folded).
     fn refresh_proj(&mut self) {
-        self.gdist = hls_ir::algo::sink_distances(&self.g);
+        let core = Arc::make_mut(&mut self.core);
+        core.gdist = hls_ir::algo::sink_distances(&core.g);
         self.proj = 0;
         for n in 0..self.op_of.len() {
             self.note_proj(n);
@@ -1708,14 +1731,14 @@ impl ThreadedScheduler {
         let k = self.resources.k();
         let mut groups: std::collections::HashMap<Vec<bool>, u64> =
             std::collections::HashMap::new();
-        for v in self.g.op_ids() {
-            let kind = self.g.kind(v);
+        for v in self.core.g.op_ids() {
+            let kind = self.core.g.kind(v);
             if kind.resource_class() == ResourceClass::Wire {
                 continue;
             }
             let set: Vec<bool> = (0..k).map(|u| self.resources.compatible(u, kind)).collect();
             if set.iter().any(|&b| b) {
-                *groups.entry(set).or_insert(0) += self.g.delay(v);
+                *groups.entry(set).or_insert(0) += self.core.g.delay(v);
             }
         }
         groups
@@ -1935,13 +1958,14 @@ impl ThreadedScheduler {
     /// per-row dense-closure surgery.
     fn sync_graph_growth(&mut self) -> Result<(), SchedError> {
         let old = self.node_of.len();
-        let new = self.g.len();
+        let new = self.core.g.len();
         self.node_of.resize(new, None);
         if new == old {
             return Ok(());
         }
-        self.reach.try_grow(&self.g)?;
-        self.sched_extrema.sync_chain_count(&self.reach);
+        let core = Arc::make_mut(&mut self.core);
+        core.reach.try_grow(&core.g)?;
+        self.sched_extrema.sync_chain_count(&self.core.reach);
         self.refresh_proj();
         Ok(())
     }

@@ -43,6 +43,23 @@ pub struct FlowConfig {
     /// silently misread inter-iteration dependencies as
     /// same-iteration ones).
     pub pipeline: Option<hls_search::PipelineConfig>,
+    /// When set, the initial soft schedule of a *large* behavior is
+    /// built by the partition-parallel engine
+    /// ([`threaded_sched::ParallelScheduler`]): balanced min-cut
+    /// partition, per-block scheduling on worker threads, seam stitch,
+    /// then materialisation back into a live [`ThreadedScheduler`] so
+    /// every downstream phase (spilling, φ resolution, wire-delay
+    /// absorption, ECO) works unchanged. The seat adopts
+    /// [`FlowConfig::meta`] as its block meta order, and behaviors at
+    /// or below the config's `sequential_cutoff` take the flow's
+    /// ordinary sequential branch (budget included) — small flows are
+    /// bit-identical with or without this seat. Ignored when
+    /// [`FlowConfig::portfolio`] or [`FlowConfig::pipeline`] is set
+    /// (those seats own scheduling), and not threaded through the
+    /// degradation ladder. The flow budget is not enforced inside the
+    /// partitioned run — this seat *is* the fast path for graphs big
+    /// enough to need a budget.
+    pub parallel: Option<threaded_sched::parallel::ParallelConfig>,
     /// Floorplan grid (width, height); must fit `resources.k()` cells.
     pub grid: (usize, usize),
     /// Interconnect delay model.
@@ -68,6 +85,7 @@ impl Default for FlowConfig {
             meta: MetaSchedule::ListBased,
             portfolio: None,
             pipeline: None,
+            parallel: None,
             grid: (2, 2),
             wire_model: WireModel::default(),
             place: PlaceConfig::default(),
@@ -426,18 +444,30 @@ fn run_flow_inner(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOut
         }
     };
 
-    // 1. Soft scheduling — a single meta order, or the parallel
-    // portfolio + feedback refinement when configured. Either path
-    // honours the flow budget and stops within one commit of expiry.
-    let ts = match &config.portfolio {
-        Some(pcfg) => {
+    // 1. Soft scheduling — a single meta order, the parallel
+    // portfolio + feedback refinement, or (for large behaviors) the
+    // partition-parallel engine materialised back into a live state.
+    // The meta/portfolio paths honour the flow budget and stop within
+    // one commit of expiry; the partitioned path is the fast path and
+    // runs unbudgeted (see [`FlowConfig::parallel`]).
+    let ts = match (&config.portfolio, &config.parallel) {
+        (Some(pcfg), _) => {
             let pcfg = hls_search::PortfolioConfig {
                 budget: pcfg.budget.tighter(&config.budget),
                 ..pcfg.clone()
             };
             hls_search::run_portfolio(&graph, &config.resources, &pcfg)?.winner
         }
-        None => {
+        (None, Some(par)) if pipeline.is_none() && graph.len() > par.sequential_cutoff => {
+            // The seat adopts the flow's meta order so the
+            // below-cutoff path is bit-identical to the plain flow.
+            let par = threaded_sched::ParallelConfig { meta: config.meta, ..par.clone() };
+            let ps =
+                threaded_sched::ParallelScheduler::new(graph, config.resources.clone(), par)?;
+            let run = ps.run()?;
+            ps.materialize(&run)?
+        }
+        _ => {
             let order = config.meta.order(&graph, &config.resources)?;
             let mut ts = ThreadedScheduler::new(graph, config.resources.clone())?;
             match ts.schedule_all_budgeted(order, &config.budget, |_| false)? {
@@ -608,6 +638,34 @@ mod tests {
         assert!(out.report.spills > 0, "budget 1 must force spilling");
         // The spilled design still validates and fits the budget.
         assert!(out.report.registers <= 3, "pressure must drop near budget");
+    }
+
+    #[test]
+    fn parallel_seat_is_identical_below_cutoff_and_valid_when_forced() {
+        // Below the cutoff the parallel seat takes the sequential path
+        // inside the parallel engine: the flow is bit-identical.
+        let seq = run_flow(bench_graphs::ewf(), &FlowConfig::default()).unwrap();
+        let cfg = FlowConfig {
+            parallel: Some(threaded_sched::ParallelConfig::default()),
+            ..FlowConfig::default()
+        };
+        let par = run_flow(bench_graphs::ewf(), &cfg).unwrap();
+        assert_eq!(par.report, seq.report);
+
+        // Forcing the partition path still yields a flow-worthy state:
+        // every downstream phase ran and the outcome validates.
+        let forced = FlowConfig {
+            parallel: Some(threaded_sched::ParallelConfig {
+                parts: 4,
+                sequential_cutoff: 0,
+                ..threaded_sched::ParallelConfig::default()
+            }),
+            ..FlowConfig::default()
+        };
+        let out = run_flow(bench_graphs::ewf(), &forced).unwrap();
+        out.scheduler.check_invariants().unwrap();
+        sched_check::validate(out.scheduler.graph(), &forced.resources, &out.schedule).unwrap();
+        assert!(out.report.final_states >= out.report.initial_states);
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub mod canon;
 pub mod dot;
 pub mod faultinject;
 pub mod generate;
+pub mod load;
 mod graph;
 mod op;
+pub mod partition;
 pub mod reach;
 mod resources;
 pub mod schedule;
@@ -53,6 +55,7 @@ pub mod textfmt;
 pub use bitmatrix::BitMatrix;
 pub use budget::Budget;
 pub use graph::{DistEdgeIter, EdgeIter, OpId, OpIdIter, Operand, PrecedenceGraph};
+pub use partition::{Partition, PartitionConfig};
 pub use reach::{CapacityError, ChainExtrema, ReachIndex};
 pub use op::{DelayModel, OpKind, ResourceClass};
 pub use resources::ResourceSet;

@@ -1,0 +1,168 @@
+//! The one shared workload loader for examples and benchmark
+//! binaries.
+//!
+//! Every front end that takes "a graph" from the command line resolves
+//! it through [`load_graph`]/[`load_suite`] instead of hand-rolling
+//! its own mix of `bench_graphs` lookups, generator calls and
+//! [`textfmt`] file reads. The spec grammar:
+//!
+//! | spec                 | resolves to                                   |
+//! |----------------------|-----------------------------------------------|
+//! | `hal` `ar` `ewf` `fir` | the named paper kernel                      |
+//! | `fig1`               | the Figure 1 motivating example               |
+//! | `all`                | the four paper kernels (suite only)           |
+//! | `stress:<seed>:<ops>` | [`generate::stress_dag`]                     |
+//! | `<path>.dfg`         | a textfmt file from disk                      |
+//!
+//! Specs are case-insensitive for the named kernels. A path is
+//! anything containing a `/` or ending in `.dfg`; unknown bare words
+//! are reported as such rather than treated as file names, so a typo
+//! in a kernel name does not turn into a confusing I/O error.
+
+use crate::{bench_graphs, generate, textfmt, PrecedenceGraph};
+use std::fmt;
+use std::path::Path;
+
+/// Why a workload spec failed to resolve.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The spec names neither a kernel, a generator, nor a file.
+    UnknownSpec(String),
+    /// A generator spec (`stress:<seed>:<ops>`) with malformed fields.
+    BadGeneratorSpec(String),
+    /// The spec was a path but reading it failed.
+    Io(String, std::io::Error),
+    /// The file was read but is not a valid textfmt graph.
+    Parse(String, textfmt::ParseDfgError),
+    /// A multi-graph spec (`all`) was given where one graph is needed.
+    Ambiguous(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::UnknownSpec(s) => write!(
+                f,
+                "unknown workload '{s}' (expected hal|ar|ewf|fir|fig1|all, \
+                 stress:<seed>:<ops>, or a .dfg file path)"
+            ),
+            LoadError::BadGeneratorSpec(s) => {
+                write!(f, "malformed generator spec '{s}' (expected stress:<seed>:<ops>)")
+            }
+            LoadError::Io(p, e) => write!(f, "reading '{p}': {e}"),
+            LoadError::Parse(p, e) => write!(f, "parsing '{p}': {e}"),
+            LoadError::Ambiguous(s) => {
+                write!(f, "'{s}' names several graphs; pick one kernel or a file")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn looks_like_path(spec: &str) -> bool {
+    spec.contains('/') || spec.contains('\\') || spec.to_ascii_lowercase().ends_with(".dfg")
+}
+
+fn from_file(spec: &str) -> Result<(String, PrecedenceGraph), LoadError> {
+    let text = std::fs::read_to_string(spec).map_err(|e| LoadError::Io(spec.to_string(), e))?;
+    let g = textfmt::from_text(&text).map_err(|e| LoadError::Parse(spec.to_string(), e))?;
+    let name = Path::new(spec)
+        .file_stem()
+        .map_or_else(|| spec.to_string(), |s| s.to_string_lossy().into_owned());
+    Ok((name, g))
+}
+
+fn from_generator(spec: &str) -> Result<(String, PrecedenceGraph), LoadError> {
+    let mut it = spec.split(':');
+    let _ = it.next(); // the "stress" tag, already matched
+    let bad = || LoadError::BadGeneratorSpec(spec.to_string());
+    let seed: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let ops: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    if it.next().is_some() {
+        return Err(bad());
+    }
+    Ok((format!("stress-{seed}-{ops}"), generate::stress_dag(seed, ops)))
+}
+
+/// Resolves a workload spec to a list of named graphs (`all` expands
+/// to the four paper kernels; every other spec yields one graph).
+///
+/// # Errors
+///
+/// See [`LoadError`].
+pub fn load_suite(spec: &str) -> Result<Vec<(String, PrecedenceGraph)>, LoadError> {
+    if looks_like_path(spec) {
+        return from_file(spec).map(|g| vec![g]);
+    }
+    let lower = spec.to_ascii_lowercase();
+    match lower.as_str() {
+        "all" => Ok(bench_graphs::all()
+            .into_iter()
+            .map(|(name, g)| (name.to_string(), g))
+            .collect()),
+        "hal" => Ok(vec![("HAL".to_string(), bench_graphs::hal())]),
+        "ar" => Ok(vec![("AR".to_string(), bench_graphs::ar())]),
+        "ewf" => Ok(vec![("EWF".to_string(), bench_graphs::ewf())]),
+        "fir" => Ok(vec![("FIR".to_string(), bench_graphs::fir())]),
+        "fig1" => Ok(vec![("FIG1".to_string(), bench_graphs::fig1().graph)]),
+        _ if lower.starts_with("stress:") => from_generator(spec).map(|g| vec![g]),
+        _ => Err(LoadError::UnknownSpec(spec.to_string())),
+    }
+}
+
+/// Resolves a workload spec to exactly one named graph.
+///
+/// # Errors
+///
+/// [`LoadError::Ambiguous`] for multi-graph specs (`all`), otherwise
+/// as [`load_suite`].
+pub fn load_graph(spec: &str) -> Result<(String, PrecedenceGraph), LoadError> {
+    let mut suite = load_suite(spec)?;
+    if suite.len() != 1 {
+        return Err(LoadError::Ambiguous(spec.to_string()));
+    }
+    Ok(suite.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_kernels_resolve_case_insensitively() {
+        for spec in ["hal", "HAL", "ewf", "ar", "fir", "fig1"] {
+            let (_, g) = load_graph(spec).unwrap();
+            assert!(!g.is_empty(), "{spec}");
+        }
+        assert_eq!(load_suite("all").unwrap().len(), bench_graphs::all().len());
+    }
+
+    #[test]
+    fn generator_specs_parse_and_reject() {
+        let (name, g) = load_graph("stress:7:250").unwrap();
+        assert_eq!(name, "stress-7-250");
+        assert_eq!(g.len(), 250);
+        assert!(matches!(load_graph("stress:7"), Err(LoadError::BadGeneratorSpec(_))));
+        assert!(matches!(load_graph("stress:x:10"), Err(LoadError::BadGeneratorSpec(_))));
+        assert!(matches!(load_graph("stress:1:2:3"), Err(LoadError::BadGeneratorSpec(_))));
+    }
+
+    #[test]
+    fn files_round_trip_and_errors_stay_typed() {
+        let g = bench_graphs::hal();
+        let dir = std::env::temp_dir().join("hls-ir-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hal.dfg");
+        std::fs::write(&path, textfmt::to_text(&g)).unwrap();
+        let (name, loaded) = load_graph(path.to_str().unwrap()).unwrap();
+        assert_eq!(name, "hal");
+        assert_eq!(loaded.len(), g.len());
+
+        assert!(matches!(load_graph("no/such/file.dfg"), Err(LoadError::Io(_, _))));
+        assert!(matches!(load_graph("not-a-kernel"), Err(LoadError::UnknownSpec(_))));
+        assert!(matches!(load_graph("all"), Err(LoadError::Ambiguous(_))));
+        std::fs::write(&path, "op zero bogus").unwrap();
+        assert!(matches!(load_graph(path.to_str().unwrap()), Err(LoadError::Parse(_, _))));
+    }
+}

@@ -1,0 +1,634 @@
+//! Balanced acyclic min-cut partitioning of precedence graphs.
+//!
+//! The partition-parallel scheduler (`threaded_sched::ParallelScheduler`)
+//! needs the behavior split into `P` blocks such that
+//!
+//! 1. the blocks are **balanced** by delay weight (workers finish
+//!    together),
+//! 2. the **quotient is acyclic** — in fact every edge goes from a
+//!    block to an equal-or-higher-numbered block, so the blocks are
+//!    already in quotient topological order and the stitch pass can
+//!    concatenate per-block state chains without cycle checks,
+//! 3. the **cut** (edges between different blocks) is small — cut
+//!    edges are exactly the dependencies the stitch pass must splice
+//!    back sequentially, so the cut bounds the non-parallel work.
+//!
+//! The partitioner is the classic multilevel scheme specialised to
+//! DAGs: *coarsen* by contracting edge-connected intervals of a
+//! topological order (intervals keep the coarse sequence a topological
+//! order, so no cycle can appear at any level), *bisect* the coarsest
+//! sequence at the cut-minimising balanced split point, then *uncoarsen*
+//! and refine each level with Fiedler–Mattheyses-style boundary moves
+//! restricted to moves that preserve the prefix/suffix invariant
+//! (a vertex may cross the cut only when none of its neighbours would
+//! end up on the wrong side of it). `k`-way partitions come from
+//! recursive bisection with proportional balance targets.
+//!
+//! Everything is deterministic: no randomness, ties broken by vertex
+//! id, so a partition depends only on (graph, config) — the anchor of
+//! the parallel scheduler's determinism guarantee.
+
+use crate::{algo, IrError, OpId, PrecedenceGraph};
+
+/// Configuration for [`partition`].
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// Number of blocks. Clamped to `1..=|V|`.
+    pub parts: usize,
+    /// Balance slack: every block's weight must stay within
+    /// `(1 + tolerance) * ideal + max_op_weight`, where `ideal` is the
+    /// block's proportional share of the total delay weight. The
+    /// additive term keeps lumpy weights feasible.
+    pub tolerance: f64,
+    /// Boundary-refinement passes per uncoarsening level.
+    pub refine_passes: usize,
+    /// Coarsening stops once a level has at most this many clusters.
+    pub coarsen_target: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            parts: 2,
+            tolerance: 0.10,
+            refine_passes: 4,
+            coarsen_target: 512,
+        }
+    }
+}
+
+/// A block assignment over the operations of one precedence graph.
+///
+/// Invariant (checked by [`Partition::validate`]): every edge `u -> v`
+/// of the partitioned graph satisfies `part_of(u) <= part_of(v)` — the
+/// blocks are numbered in a topological order of the quotient graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    part_of: Vec<u32>,
+    parts: usize,
+}
+
+impl Partition {
+    /// The block of operation `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the partitioned graph.
+    pub fn part_of(&self, v: OpId) -> usize {
+        self.part_of[v.index()] as usize
+    }
+
+    /// Number of blocks (some may be empty on degenerate inputs).
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Number of operations assigned (the size of the partitioned
+    /// graph).
+    pub fn len(&self) -> usize {
+        self.part_of.len()
+    }
+
+    /// `true` if the partition covers no operations.
+    pub fn is_empty(&self) -> bool {
+        self.part_of.is_empty()
+    }
+
+    /// The operations of every block, in ascending id order within a
+    /// block and ascending block order across blocks.
+    pub fn blocks(&self) -> Vec<Vec<OpId>> {
+        let mut out = vec![Vec::new(); self.parts];
+        for (i, &p) in self.part_of.iter().enumerate() {
+            out[p as usize].push(OpId::from_index(i));
+        }
+        out
+    }
+
+    /// The cut edges — edges whose endpoints live in different blocks —
+    /// in deterministic (source id, target id) order.
+    pub fn cut_edges(&self, g: &PrecedenceGraph) -> Vec<(OpId, OpId)> {
+        g.edges()
+            .filter(|&(u, v)| self.part_of[u.index()] != self.part_of[v.index()])
+            .collect()
+    }
+
+    /// Number of cut edges.
+    pub fn cut_size(&self, g: &PrecedenceGraph) -> usize {
+        g.edges()
+            .filter(|&(u, v)| self.part_of[u.index()] != self.part_of[v.index()])
+            .count()
+    }
+
+    /// Per-block delay weight (each op weighs `delay.max(1)`, so
+    /// zero-delay ops still count toward balance).
+    pub fn block_weights(&self, g: &PrecedenceGraph) -> Vec<u64> {
+        let mut w = vec![0u64; self.parts];
+        for v in g.op_ids() {
+            w[self.part_of[v.index()] as usize] += op_weight(g, v);
+        }
+        w
+    }
+
+    /// Verifies the partition invariants against `g`:
+    ///
+    /// * every op is assigned a block below [`Partition::parts`];
+    /// * every edge goes to an equal-or-higher block (quotient
+    ///   acyclicity in topological numbering);
+    /// * every block's weight is within the balance bound implied by
+    ///   `tolerance`: the proportional share times `1 + tolerance`,
+    ///   plus one maximal op of slack per bisection level (weights are
+    ///   integral and lumpy, so each of the `ceil(log2 parts)` splits
+    ///   can miss its target by up to one op).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, g: &PrecedenceGraph, tolerance: f64) -> Result<(), String> {
+        if self.part_of.len() != g.len() {
+            return Err(format!(
+                "partition covers {} ops but the graph has {}",
+                self.part_of.len(),
+                g.len()
+            ));
+        }
+        for v in g.op_ids() {
+            if self.part_of[v.index()] as usize >= self.parts {
+                return Err(format!("{v} assigned to out-of-range block"));
+            }
+        }
+        for (u, v) in g.edges() {
+            if self.part_of[u.index()] > self.part_of[v.index()] {
+                return Err(format!(
+                    "edge {u} -> {v} goes backwards across blocks {} -> {}",
+                    self.part_of[u.index()],
+                    self.part_of[v.index()]
+                ));
+            }
+        }
+        let weights = self.block_weights(g);
+        let total: u64 = weights.iter().sum();
+        let max_op = g.op_ids().map(|v| op_weight(g, v)).max().unwrap_or(0);
+        let ideal = (total as f64) / (self.parts as f64);
+        let levels = usize::BITS - self.parts.next_power_of_two().leading_zeros() - 1;
+        let bound = ideal * (1.0 + tolerance.max(0.0)) + (max_op * u64::from(levels.max(1))) as f64;
+        for (b, &w) in weights.iter().enumerate() {
+            if w as f64 > bound {
+                return Err(format!(
+                    "block {b} weighs {w}, above the balance bound {bound:.1} \
+                     (ideal {ideal:.1}, tolerance {tolerance})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The balance weight of one op: its delay, floored at 1 so zero-delay
+/// operations still occupy a share of a block.
+fn op_weight(g: &PrecedenceGraph, v: OpId) -> u64 {
+    g.delay(v).max(1)
+}
+
+/// Picks a block count for a graph of `ops` operations scheduled by
+/// `workers` worker threads: enough blocks to keep every worker busy
+/// and each block small enough to stay cache-resident, but never more
+/// blocks than ops.
+pub fn auto_parts(ops: usize, workers: usize) -> usize {
+    let by_worker = workers.max(1) * 4;
+    let by_size = ops.div_ceil(16_384);
+    by_worker.max(by_size).min(ops.max(1))
+}
+
+/// Partitions `g` into `cfg.parts` balanced blocks with an acyclic,
+/// topologically numbered quotient (see the module docs for the
+/// multilevel scheme). Deterministic in (graph, config).
+///
+/// # Errors
+///
+/// Returns [`IrError::Cycle`] if `g` is cyclic (partitioning is
+/// defined on DAGs; loop kernels partition their
+/// [`kernel_dag`](PrecedenceGraph::kernel_dag)).
+pub fn partition(g: &PrecedenceGraph, cfg: &PartitionConfig) -> Result<Partition, IrError> {
+    let topo = algo::topo_order(g)?;
+    let n = g.len();
+    let parts = cfg.parts.clamp(1, n.max(1));
+    let mut part_of = vec![0u32; n];
+    if parts > 1 && n > 0 {
+        // The work sequence: ops in topological order; recursive
+        // bisection assigns block ids so that earlier sequence
+        // intervals get lower ids.
+        let seq: Vec<u32> = topo.iter().map(|v| v.index() as u32).collect();
+        let mut next_block = 0u32;
+        // Per-level tolerance: `ceil(log2 parts)` nested bisections
+        // compound multiplicatively, so split each level at
+        // `tolerance / levels` to keep the final drift within
+        // `(1 + tolerance)` overall.
+        let levels = (usize::BITS - parts.next_power_of_two().leading_zeros() - 1).max(1);
+        let eff_tol = cfg.tolerance.max(0.0) / f64::from(levels);
+        split_recursive(g, cfg, eff_tol, &seq, parts, &mut next_block, &mut part_of);
+        debug_assert_eq!(next_block as usize, parts);
+    }
+    Ok(Partition { part_of, parts })
+}
+
+/// A seeded random balanced bisection — the cut-size sanity baseline
+/// for the partitioner's property suite. Makes no acyclicity promise
+/// about its quotient.
+pub fn random_bisection(g: &PrecedenceGraph, seed: u64) -> Partition {
+    // A tiny splitmix64 keeps this free of the rand shim.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = g.len();
+    let mut ids: Vec<usize> = (0..n).collect();
+    // Fisher–Yates with the local generator.
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        ids.swap(i, j);
+    }
+    // Greedily fill the lighter half, keeping delay weights balanced.
+    let mut part_of = vec![0u32; n];
+    let mut w = [0u64; 2];
+    for &i in &ids {
+        let side = usize::from(w[1] < w[0]);
+        part_of[i] = side as u32;
+        w[side] += op_weight(g, OpId::from_index(i));
+    }
+    Partition { part_of, parts: 2 }
+}
+
+// ---------------------------------------------------------------------
+// Multilevel bisection over a topological sequence.
+// ---------------------------------------------------------------------
+
+/// Recursively splits the topological sequence `seq` into `parts`
+/// blocks, assigning ids from `*next_block` upward in sequence order.
+fn split_recursive(
+    g: &PrecedenceGraph,
+    cfg: &PartitionConfig,
+    eff_tol: f64,
+    seq: &[u32],
+    parts: usize,
+    next_block: &mut u32,
+    part_of: &mut [u32],
+) {
+    if parts <= 1 || seq.len() <= 1 {
+        // Too few ops for the requested blocks: everything lands in the
+        // first block, the rest stay empty — but their ids are still
+        // consumed so block numbering stays topological across the
+        // whole recursion.
+        let b = *next_block;
+        *next_block += parts as u32;
+        for &v in seq {
+            part_of[v as usize] = b;
+        }
+        return;
+    }
+    let left_parts = parts.div_ceil(2);
+    let ratio = left_parts as f64 / parts as f64;
+    let (prefix, suffix) = bisect(g, cfg, eff_tol, seq, ratio);
+    split_recursive(g, cfg, eff_tol, &prefix, left_parts, next_block, part_of);
+    split_recursive(g, cfg, eff_tol, &suffix, parts - left_parts, next_block, part_of);
+}
+
+/// One multilevel bisection of the vertex sequence `seq` (a
+/// topological order of the induced subgraph): coarsen to intervals,
+/// split at the cut-minimising balanced point, uncoarsen with boundary
+/// refinement. Returns the two sides, each in topological sequence
+/// order.
+fn bisect(
+    g: &PrecedenceGraph,
+    cfg: &PartitionConfig,
+    eff_tol: f64,
+    seq: &[u32],
+    ratio: f64,
+) -> (Vec<u32>, Vec<u32>) {
+    let n = seq.len();
+    // Sequence position of every member, NONE for outsiders — edges to
+    // outsiders are invisible to this subproblem.
+    let mut pos_of = vec![u32::MAX; g.len()];
+    for (i, &v) in seq.iter().enumerate() {
+        pos_of[v as usize] = i as u32;
+    }
+
+    // --- Coarsen: clusters are intervals [start, end) of `seq`. ---
+    // A cluster sequence is itself topologically ordered, so every
+    // level inherits the prefix/suffix acyclicity for free. Merge
+    // adjacent clusters that share at least one edge until the level
+    // is small enough or no merge applies.
+    let mut bounds: Vec<u32> = (0..=n as u32).collect(); // cluster i = seq[bounds[i]..bounds[i+1]]
+    let mut levels: Vec<Vec<u32>> = Vec::new();
+    while bounds.len() - 1 > cfg.coarsen_target.max(2) {
+        let mut merged = Vec::with_capacity(bounds.len() / 2 + 1);
+        merged.push(0u32);
+        let mut i = 0;
+        let mut did_merge = false;
+        while i + 1 < bounds.len() {
+            let (s0, e0) = (bounds[i], bounds[i + 1]);
+            if i + 2 < bounds.len() {
+                let e1 = bounds[i + 2];
+                if clusters_connected(g, seq, &pos_of, s0, e0, e1) {
+                    merged.push(e1);
+                    i += 2;
+                    did_merge = true;
+                    continue;
+                }
+            }
+            merged.push(e0);
+            i += 1;
+        }
+        if !did_merge {
+            break;
+        }
+        levels.push(std::mem::replace(&mut bounds, merged));
+    }
+
+    // --- Initial split of the coarsest level + refinement per level. ---
+    let weights: Vec<u64> = seq
+        .iter()
+        .map(|&v| op_weight(g, OpId::from_index(v as usize)))
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let target = (total as f64 * ratio).round() as u64;
+    let slack =
+        (total as f64 * eff_tol * ratio) as u64 + weights.iter().copied().max().unwrap_or(0);
+    let mut cut_pos = best_split(g, seq, &pos_of, &bounds, &weights, target, slack);
+    // `cut_pos` is a sequence index: side 0 = seq[..cut_pos].
+    loop {
+        cut_pos = refine_split(g, seq, &pos_of, &weights, cut_pos, target, slack, cfg);
+        match levels.pop() {
+            // Finer levels reuse the refined sequence split as-is (the
+            // split is a position, valid at every granularity).
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    // Refinement may move vertices out of sequence order; rebuild the
+    // two sides from the final side assignment.
+    let side = side_assignment(g, seq, &pos_of, cut_pos, &weights, target, slack, cfg);
+    let mut prefix = Vec::with_capacity(cut_pos);
+    let mut suffix = Vec::with_capacity(n - cut_pos);
+    for (i, &v) in seq.iter().enumerate() {
+        if side[i] == 0 {
+            prefix.push(v);
+        } else {
+            suffix.push(v);
+        }
+    }
+    (prefix, suffix)
+}
+
+/// `true` if any edge joins cluster `[s0, e0)` with cluster `[e0, e1)`
+/// of the sequence.
+fn clusters_connected(
+    g: &PrecedenceGraph,
+    seq: &[u32],
+    pos_of: &[u32],
+    s0: u32,
+    e0: u32,
+    e1: u32,
+) -> bool {
+    for &v in &seq[s0 as usize..e0 as usize] {
+        for &s in g.succs(OpId::from_index(v as usize)) {
+            let p = pos_of[s.index()];
+            if p != u32::MAX && p >= e0 && p < e1 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Scans the cluster boundaries of the coarsest level and returns the
+/// sequence position of the balanced split with the smallest cut.
+fn best_split(
+    g: &PrecedenceGraph,
+    seq: &[u32],
+    pos_of: &[u32],
+    bounds: &[u32],
+    weights: &[u64],
+    target: u64,
+    slack: u64,
+) -> usize {
+    // cut(k) for a prefix split at sequence position k changes
+    // incrementally: absorbing vertex i into the prefix adds its
+    // out-degree (edges now leaving the prefix) and removes its
+    // in-degree (edges that used to cross).
+    let n = seq.len();
+    let mut cut_at = vec![0i64; n + 1];
+    let mut cur = 0i64;
+    for (i, &v) in seq.iter().enumerate() {
+        let v = OpId::from_index(v as usize);
+        let outs = g
+            .succs(v)
+            .iter()
+            .filter(|s| pos_of[s.index()] != u32::MAX)
+            .count() as i64;
+        let ins = g
+            .preds(v)
+            .iter()
+            .filter(|p| pos_of[p.index()] != u32::MAX)
+            .count() as i64;
+        cur += outs - ins;
+        cut_at[i + 1] = cur;
+    }
+    let mut prefix_w = 0u64;
+    let mut best: Option<(i64, usize)> = None;
+    let mut closest: (u64, usize) = (u64::MAX, n / 2);
+    let mut wi = 0usize;
+    for &b in &bounds[1..bounds.len() - 1] {
+        let k = b as usize;
+        while wi < k {
+            prefix_w += weights[wi];
+            wi += 1;
+        }
+        let dist = prefix_w.abs_diff(target);
+        if dist < closest.0 {
+            closest = (dist, k);
+        }
+        if dist <= slack && best.is_none_or(|(c, _)| cut_at[k] < c) {
+            best = Some((cut_at[k], k));
+        }
+    }
+    best.map(|(_, k)| k).unwrap_or(closest.1)
+}
+
+/// One-level boundary refinement: returns the (possibly unchanged)
+/// split position after greedy legal moves. The heavy lifting is in
+/// [`side_assignment`]; this wrapper only keeps the split position in
+/// range for the next level.
+#[allow(clippy::too_many_arguments)]
+fn refine_split(
+    _g: &PrecedenceGraph,
+    seq: &[u32],
+    _pos_of: &[u32],
+    _weights: &[u64],
+    cut_pos: usize,
+    _target: u64,
+    _slack: u64,
+    _cfg: &PartitionConfig,
+) -> usize {
+    cut_pos.min(seq.len())
+}
+
+/// Computes the final side of every sequence member: start from the
+/// prefix/suffix split at `cut_pos`, then run
+/// `cfg.refine_passes` passes of greedy boundary moves. A move across
+/// the cut is *legal* only when it preserves the invariant that every
+/// edge goes prefix → suffix: a prefix vertex may leave only if none
+/// of its (in-subproblem) successors stays in the prefix; a suffix
+/// vertex may enter only if all its predecessors are already there.
+/// Moves are applied when they shrink the cut, or keep it equal while
+/// improving balance. Deterministic: vertices are visited in sequence
+/// order.
+#[allow(clippy::too_many_arguments)]
+fn side_assignment(
+    g: &PrecedenceGraph,
+    seq: &[u32],
+    pos_of: &[u32],
+    cut_pos: usize,
+    weights: &[u64],
+    target: u64,
+    slack: u64,
+    cfg: &PartitionConfig,
+) -> Vec<u8> {
+    let n = seq.len();
+    let mut side: Vec<u8> = (0..n).map(|i| u8::from(i >= cut_pos)).collect();
+    let mut prefix_w: u64 = weights[..cut_pos].iter().sum();
+    let total: u64 = prefix_w + weights[cut_pos..].iter().sum::<u64>();
+    for _ in 0..cfg.refine_passes {
+        let mut moved = false;
+        for i in 0..n {
+            let v = OpId::from_index(seq[i] as usize);
+            // Gain = (cut edges removed) − (internal edges cut).
+            let mut to_other = 0i64;
+            let mut to_own = 0i64;
+            let mut legal = true;
+            let my = side[i];
+            for &s in g.succs(v) {
+                let p = pos_of[s.index()];
+                if p == u32::MAX {
+                    continue;
+                }
+                if side[p as usize] == my {
+                    to_own += 1;
+                    if my == 0 {
+                        legal = false; // successor would end up behind us
+                    }
+                } else {
+                    to_other += 1;
+                }
+            }
+            for &q in g.preds(v) {
+                let p = pos_of[q.index()];
+                if p == u32::MAX {
+                    continue;
+                }
+                if side[p as usize] == my {
+                    to_own += 1;
+                    if my == 1 {
+                        legal = false; // predecessor would end up ahead
+                    }
+                } else {
+                    to_other += 1;
+                }
+            }
+            if !legal {
+                continue;
+            }
+            let gain = to_other - to_own;
+            let w = weights[i];
+            let new_prefix = if my == 0 { prefix_w - w } else { prefix_w + w };
+            let balanced = new_prefix.abs_diff(target) <= slack && new_prefix <= total;
+            let improves_balance = new_prefix.abs_diff(target) < prefix_w.abs_diff(target);
+            if balanced && (gain > 0 || (gain == 0 && improves_balance)) {
+                side[i] = 1 - my;
+                prefix_w = new_prefix;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_graphs, generate};
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = bench_graphs::hal();
+        let p = partition(&g, &PartitionConfig { parts: 1, ..Default::default() }).unwrap();
+        assert_eq!(p.parts(), 1);
+        assert_eq!(p.cut_size(&g), 0);
+        p.validate(&g, 0.10).unwrap();
+    }
+
+    #[test]
+    fn parts_clamp_to_graph_size() {
+        let g = bench_graphs::fig1().graph; // 7 ops
+        let p = partition(&g, &PartitionConfig { parts: 99, ..Default::default() }).unwrap();
+        assert_eq!(p.parts(), 7);
+        p.validate(&g, 1.0).unwrap();
+    }
+
+    #[test]
+    fn bisection_is_balanced_acyclic_and_beats_random() {
+        let g = generate::stress_dag(11, 400);
+        let cfg = PartitionConfig { parts: 2, ..Default::default() };
+        let p = partition(&g, &cfg).unwrap();
+        p.validate(&g, cfg.tolerance).unwrap();
+        let rand_cut = random_bisection(&g, 0xC0FFEE).cut_size(&g);
+        assert!(
+            p.cut_size(&g) <= rand_cut,
+            "min-cut split {} must not lose to random {rand_cut}",
+            p.cut_size(&g)
+        );
+    }
+
+    #[test]
+    fn kway_blocks_are_topologically_numbered() {
+        let g = generate::stress_dag(5, 500);
+        for parts in [2usize, 3, 4, 8] {
+            let cfg = PartitionConfig { parts, ..Default::default() };
+            let p = partition(&g, &cfg).unwrap();
+            assert_eq!(p.parts(), parts);
+            p.validate(&g, cfg.tolerance).unwrap();
+            // Blocks cover every op exactly once.
+            let covered: usize = p.blocks().iter().map(Vec::len).sum();
+            assert_eq!(covered, g.len());
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let g = generate::stress_dag(9, 300);
+        let cfg = PartitionConfig { parts: 4, ..Default::default() };
+        assert_eq!(partition(&g, &cfg).unwrap(), partition(&g, &cfg).unwrap());
+    }
+
+    #[test]
+    fn cyclic_graphs_are_rejected() {
+        let g = bench_graphs::mac_loop();
+        assert!(g.has_loop_edges());
+        // Loop kernels must partition their kernel DAG instead.
+        assert!(partition(&g.kernel_dag(), &PartitionConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn auto_parts_scales_with_workers_and_size() {
+        assert_eq!(auto_parts(100, 1), 4);
+        assert_eq!(auto_parts(100, 8), 32);
+        assert!(auto_parts(1_000_000, 8) >= 32);
+        assert!(auto_parts(3, 8) <= 3);
+    }
+}

@@ -1,20 +1,26 @@
 //! Regenerates the paper's Figure 3 benchmark table from the public API
 //! (the `hls-bench` crate wraps the same experiment for the harness).
 //!
-//! Run with: `cargo run --example benchmark_table`
+//! Run with: `cargo run --example benchmark_table [workload]` — any
+//! `hls_ir::load` spec; the default `all` is the paper's four kernels.
 
 use soft_hls::baselines::{list_schedule, Priority};
-use soft_hls::ir::{bench_graphs, ResourceSet};
+use soft_hls::ir::{load, ResourceSet};
 use soft_hls::sched::{meta::MetaSchedule, SchedError, ThreadedScheduler};
 
 fn main() -> Result<(), SchedError> {
+    let spec = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let suite = load::load_suite(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let configs = [
         ("2+/-,2*", ResourceSet::classic(2, 2)),
         ("4+/-,4*", ResourceSet::classic(4, 4)),
         ("2+/-,1*", ResourceSet::classic(2, 1)),
     ];
     println!("{:4} {:12} {:>9} {:>9} {:>9}", "BM", "Sched. Alg.", configs[0].0, configs[1].0, configs[2].0);
-    for (name, g) in bench_graphs::all() {
+    for (name, g) in suite {
         for meta in MetaSchedule::PAPER {
             let mut lengths = Vec::new();
             for (_, resources) in &configs {

@@ -1,15 +1,21 @@
 //! Quickstart: softly schedule the HAL benchmark, inspect the threads,
 //! extract the hard schedule.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart [workload]` — any
+//! `hls_ir::load` spec works (`ewf`, `stress:7:200`, `my.dfg`); the
+//! default is the HAL differential-equation benchmark: 11 operations,
+//! 6 of them multiplies, under 2 ALUs + 2 multipliers.
 
-use soft_hls::ir::{bench_graphs, schedule, ResourceSet};
+use soft_hls::ir::{load, schedule, ResourceSet};
 use soft_hls::sched::{meta::MetaSchedule, SchedError, ThreadedScheduler};
 
 fn main() -> Result<(), SchedError> {
-    // The HAL differential-equation benchmark: 11 operations, 6 of them
-    // multiplies, under 2 ALUs + 2 multipliers.
-    let graph = bench_graphs::hal();
+    let spec = std::env::args().nth(1).unwrap_or_else(|| "hal".to_string());
+    let (name, graph) = load::load_graph(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("workload: {name}");
     let resources = ResourceSet::classic(2, 2);
     println!("behavior: {} ops, {} edges", graph.len(), graph.edge_count());
     println!("resources: {resources}");
