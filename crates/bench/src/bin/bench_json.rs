@@ -118,7 +118,6 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-
     std::fs::write(&out_path, &json).expect("writing the bench JSON must succeed");
     println!("wrote {out_path}");
 }

@@ -19,6 +19,10 @@
 //!   resource allocations, with the per-cell gap and wall time;
 //! * [`mem`] — the byte-counting global allocator behind the memory
 //!   column of the scaling study;
+//! * [`microbench`] — hot-path micro-benchmarks (BENCH_7): `select`
+//!   and `commit` per-op cost, `ReachIndex` probe throughput, the
+//!   word-parallel extremum kernels vs their scalar oracles, and the
+//!   arena `reset_to`-vs-clone and portfolio-wall comparisons;
 //! * [`serve_load`] — the daemon load study (BENCH_5): open-loop
 //!   throughput and p50/p99 at 0.5×/1×/2× estimated capacity,
 //!   shed-rate under overload, and the schedule-cache hit/ECO-replay
@@ -39,6 +43,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod mem;
 pub mod meta_ablation;
+pub mod microbench;
 pub mod modulo;
 pub mod parallel;
 pub mod portfolio;

@@ -109,6 +109,11 @@ pub enum SchedError {
     /// A capacity limit was exceeded (e.g. the reachability index's
     /// chain-id space) — the input is too large for this engine.
     ResourceExhausted(String),
+    /// A caller-supplied structure is internally inconsistent — e.g. a
+    /// graft translation map with duplicate entries, which would
+    /// silently alias two submitted operations onto one scheduled op
+    /// (last-write-wins). Rejected up front; the state is untouched.
+    Malformed(String),
     /// An incremental replay was asked to grow the state toward a
     /// graph that does not extend the current behavior (or carries
     /// loop edges the acyclic replay cannot honour); see
@@ -135,6 +140,7 @@ impl fmt::Display for SchedError {
             SchedError::Timeout => write!(f, "scheduling budget expired"),
             SchedError::Poisoned(what) => write!(f, "scheduler poisoned: {what}"),
             SchedError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
+            SchedError::Malformed(what) => write!(f, "malformed request: {what}"),
             SchedError::NotAnExtension => {
                 write!(f, "target graph does not extend the scheduled behavior")
             }

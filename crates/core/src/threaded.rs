@@ -125,6 +125,20 @@ pub struct Placement {
     pub cost: u64,
 }
 
+/// Hot per-node scalar labels, packed so the chain walks (`select`'s
+/// window scan, the commit-time `sdist` cascade, gap renumbering) pay
+/// one cache-line fill per node instead of one per parallel array.
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeHot {
+    /// Gap-numbered chain position (order within the thread is all
+    /// that is observable; values are never exported).
+    pos: u64,
+    /// Longest state-graph source distance, inclusive of own delay.
+    sdist: u64,
+    /// The operation's delay (sentinels: 0).
+    delay: u64,
+}
+
 /// Reusable, epoch-stamped scratch space for the hot path. Owning these
 /// buffers (instead of allocating per call) is what makes
 /// `select`/`commit` allocation-free in steady state.
@@ -147,6 +161,13 @@ struct Scratch {
     hi: Vec<u32>,
     /// Worklist for label/reach propagation (node ids).
     queue: Vec<u32>,
+    /// Per node: whether it currently sits in `queue` — dedup for the
+    /// propagation worklists (a node improved through several in-edges
+    /// is rescanned once, not once per improvement).
+    in_queue: Vec<bool>,
+    /// One node's effective reach row, copied out so the merge loop
+    /// runs slice-to-slice (no re-reads through the strided table).
+    row: Vec<u32>,
 }
 
 /// Lazily maintained sink distances.
@@ -213,16 +234,14 @@ pub struct ThreadedScheduler {
     // ---- structure-of-arrays node storage ----
     /// Per node: its thread.
     n_thread: Vec<u32>,
-    /// Per node: gap-numbered chain position (order within the thread is
-    /// all that is observable; values are never exported).
-    n_pos: Vec<u64>,
-    n_sdist: Vec<u64>,
+    /// Per node: packed hot labels (chain position, source distance,
+    /// delay) — see [`NodeHot`].
+    nh: Vec<NodeHot>,
     /// Sink distances, lazily repaired (see [`TdistLazy`]). Interior
     /// mutability lets `&self` readers (`select`,
     /// `feasible_placements`) repair on demand; they must not be
     /// re-entered from the placement callback.
     n_tdist: RefCell<TdistLazy>,
-    n_delay: Vec<u64>,
     /// Flat edge tables: `inc[n·stride + j]` is the node in thread `j`
     /// with an edge into `n` (or [`NONE`]).
     inc: Vec<u32>,
@@ -279,10 +298,8 @@ impl ThreadedScheduler {
             proj: 0,
             res_floor: 0,
             n_thread: Vec::with_capacity(2 * k),
-            n_pos: Vec::new(),
-            n_sdist: Vec::new(),
+            nh: Vec::new(),
             n_tdist: RefCell::new(TdistLazy::default()),
-            n_delay: Vec::new(),
             inc: Vec::new(),
             out: Vec::new(),
             reach_b: Vec::new(),
@@ -302,6 +319,57 @@ impl ThreadedScheduler {
         }
         ts.res_floor = ts.resource_floor();
         Ok(ts)
+    }
+
+    /// Returns this scheduler to the pristine state of `template` *in
+    /// place*, keeping every grown buffer's capacity — the arena move
+    /// behind the search crate's per-worker run reuse: a race run that
+    /// schedules `|V|` ops grows ~10 per-node tables through their
+    /// doubling ladders, and resetting instead of cloning makes every
+    /// run after a worker's first allocation-free.
+    ///
+    /// Returns `false` (and changes nothing) when reuse would not be
+    /// bit-identical to `template.clone()`: the state was poisoned
+    /// mid-commit, its graph diverged from the template's (refinement
+    /// grows the graph copy-on-write), or the resources differ. Callers
+    /// fall back to cloning in that case.
+    pub fn reset_to(&mut self, template: &ThreadedScheduler) -> bool {
+        if self.poisoned.is_some()
+            || !Arc::ptr_eq(&self.core, &template.core)
+            || self.resources != template.resources
+        {
+            return false;
+        }
+        self.node_of.iter_mut().for_each(|s| *s = None);
+        self.sched_extrema.clear(&self.core.reach);
+        self.diam = 0;
+        self.proj = 0;
+        // `res_floor` is a pure function of graph + resources: keep it.
+        self.n_thread.clear();
+        self.nh.clear();
+        {
+            let lz = self.n_tdist.get_mut();
+            lz.val.clear();
+            lz.dirty.clear();
+            lz.stack.clear();
+        }
+        self.inc.clear();
+        self.out.clear();
+        self.reach_b.clear();
+        self.reach_f.clear();
+        // A wider stride (wire threads) only pads rows; keep it.
+        self.sent_s.clear();
+        self.sent_t.clear();
+        self.op_of.clear();
+        self.threads = 0;
+        self.total_delay = 0;
+        self.history.clear();
+        // Scratch buffers are epoch-stamped; stale stamps never match a
+        // fresh epoch, so they carry over as-is.
+        for _ in 0..self.resources.k() {
+            self.push_thread();
+        }
+        true
     }
 
     /// The scheduler's working copy of the precedence graph (grows under
@@ -412,7 +480,7 @@ impl ThreadedScheduler {
     /// critical-cone extraction in the portfolio's refinement loop.
     pub fn distance(&self, v: OpId) -> Option<u64> {
         let n = self.node_of.get(v.index()).copied().flatten()?;
-        Some(self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize])
+        Some(self.nh[n as usize].sdist + self.tdist_of(n) - self.nh[n as usize].delay)
     }
 
     /// The chain-cover reachability index the scheduler maintains over
@@ -446,7 +514,7 @@ impl ThreadedScheduler {
             return Ok(Placement {
                 thread: self.n_thread[n as usize] as usize,
                 after,
-                cost: self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize],
+                cost: self.nh[n as usize].sdist + self.tdist_of(n) - self.nh[n as usize].delay,
             });
         }
         self.schedule_isolated(v, false)
@@ -476,7 +544,10 @@ impl ThreadedScheduler {
                 return self.schedule_wire(v);
             }
             let placement = if late { self.select_late(v)? } else { self.select(v)? };
-            self.commit(placement, v);
+            // `select` just walked the scheduled frontier of `v` and the
+            // state is unchanged since, so `commit` can reuse it instead
+            // of re-walking (the walk is the probe-heavy half of commit).
+            self.commit_inner(placement, v, true);
             Ok(placement)
         }));
         match attempt {
@@ -574,13 +645,7 @@ impl ThreadedScheduler {
     ///
     /// Same contract as [`ThreadedScheduler::schedule`].
     pub fn select(&self, v: OpId) -> Result<Placement, SchedError> {
-        let mut best: Option<Placement> = None;
-        self.for_each_feasible(v, |p| {
-            if best.is_none_or(|b| p.cost < b.cost) {
-                best = Some(p);
-            }
-        })?;
-        best.ok_or(SchedError::NoCompatibleUnit(v, self.core.g.kind(v)))
+        self.select_impl(v, false)
     }
 
     /// Like [`ThreadedScheduler::select`], but among cost-tied optimal
@@ -589,12 +654,123 @@ impl ThreadedScheduler {
     /// the cost); the bias matters for register pressure: spill reloads
     /// scheduled late keep their values in memory longest.
     pub fn select_late(&self, v: OpId) -> Result<Placement, SchedError> {
+        self.select_impl(v, true)
+    }
+
+    /// The shared body of [`ThreadedScheduler::select`] /
+    /// [`ThreadedScheduler::select_late`]: the window scan of
+    /// [`Self::for_each_feasible`], walked *backward* with monotone
+    /// pruning. Along a thread chain `tdist` is non-increasing (each
+    /// chain edge is a precedence), so scanning candidates from the
+    /// window's tail toward its head makes the `tdist(next)` cost term
+    /// non-decreasing, and every remaining candidate costs at least
+    /// `isrc + tdist(next) ⊔ isnk + delay`. Once that floor can no
+    /// longer beat the incumbent, the rest of the thread's window is
+    /// skipped — on tail-heavy workloads (a topological order feeding
+    /// empty-descendant windows) this collapses the scan from the full
+    /// window to a handful of candidates. Scanning backward also means
+    /// each candidate's `tdist` repair is the previous candidate's
+    /// node, so the lazy repairs hit their clean fast path.
+    ///
+    /// Tie handling mirrors the forward scan exactly: `select` keeps
+    /// the *earliest* minimal position (backward: ties replace, prune
+    /// only at `floor > best`), `select_late` the *latest* (backward:
+    /// first minimum sticks, prune at `floor ≥ best`). Both stay
+    /// bit-identical to the exhaustive forward scan — pinned by the
+    /// Theorem 2 oracle tests and the golden-equivalence suite.
+    fn select_impl(&self, v: OpId, late: bool) -> Result<Placement, SchedError> {
+        if v.index() >= self.core.g.len() {
+            return Err(SchedError::UnknownOp(v));
+        }
+        let kind = self.core.g.kind(v);
+        if !(0..self.resources.k()).any(|k| self.resources.compatible(k, kind)) {
+            return Err(SchedError::NoCompatibleUnit(v, kind));
+        }
+        let mut sc = self.scratch.take();
+        self.prep_scratch(&mut sc);
+        self.collect_frontiers(v, &mut sc);
+        let (isrc, isnk) = self.absorb_windows(&mut sc);
+        let delay = self.core.g.delay(v);
+        let s = self.stride;
         let mut best: Option<Placement> = None;
-        self.for_each_feasible(v, |p| {
-            if best.is_none_or(|b| p.cost <= b.cost) {
-                best = Some(p);
+        // One borrow of the lazy-tdist cell for the whole scan instead
+        // of one per candidate.
+        let mut lz = self.n_tdist.borrow_mut();
+        for k in 0..self.resources.k() {
+            if !self.resources.compatible(k, kind) {
+                continue;
             }
-        })?;
+            // The window's insertion points are `lo..hi` (exclusive at
+            // `hi`): insert-after nodes from the latest state-ancestor
+            // (or the head sentinel) up to just before the earliest
+            // state-descendant (or the tail sentinel's predecessor).
+            let lo = if sc.lo[k] != NONE { sc.lo[k] } else { self.sent_s[k] };
+            let lo_pos = self.nh[lo as usize].pos;
+            // First candidate pair from the tail: `next` is the window's
+            // upper bound, `cur` its chain predecessor.
+            let mut next = if sc.hi[k] != NONE { sc.hi[k] } else { self.sent_t[k] };
+            let mut cur = self.inc[next as usize * s + k];
+            debug_assert_ne!(cur, NONE, "chains are closed by sentinels");
+            while self.nh[cur as usize].pos >= lo_pos {
+                let sd = self.nh[cur as usize].sdist.max(isrc);
+                self.repair_tdist(&mut lz, next);
+                let raw_td = lz.val[next as usize];
+                let cost = sd + raw_td.max(isnk) + delay;
+                // The forward scan's update rules pick, among minimal
+                // costs, the lexicographically earliest (thread, pos)
+                // for `select` and the latest for `select_late`.
+                // Threads are still visited in ascending order, but
+                // positions arrive in descending order, so ties within
+                // the *same* thread now replace for `select` (the later
+                // visit is the earlier position) and stick for
+                // `select_late`; cross-thread ties keep the earlier
+                // thread for `select` and take the later for
+                // `select_late` — exactly the forward semantics.
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        cost < b.cost
+                            || (cost == b.cost && if late { k > b.thread } else { k == b.thread })
+                    }
+                };
+                if better {
+                    best = Some(Placement {
+                        thread: k,
+                        after: self.op_of[cur as usize],
+                        cost,
+                    });
+                }
+                if cur == lo {
+                    break;
+                }
+                next = cur;
+                cur = self.inc[cur as usize * s + k];
+                debug_assert_ne!(cur, NONE, "window stays above the head sentinel");
+                if let Some(b) = best {
+                    // Monotone floor for every remaining candidate in
+                    // this thread: `tdist` only grows walking backward,
+                    // and along the chain edge `next → old next` the
+                    // (possibly still dirty) new `next` satisfies
+                    // `tdist(next) ≥ delay(next) + tdist(old next)`, so
+                    // the just-repaired old value gives a sound bound
+                    // without repairing `next` yet. Prune once no
+                    // remaining candidate can become the winner under
+                    // the tie rules above.
+                    let lb_td = raw_td + self.nh[next as usize].delay;
+                    let floor = isrc + lb_td.max(isnk) + delay;
+                    let dead = if late {
+                        floor > b.cost || (floor == b.cost && k <= b.thread)
+                    } else {
+                        floor > b.cost || (floor == b.cost && k != b.thread)
+                    };
+                    if dead {
+                        break;
+                    }
+                }
+            }
+        }
+        drop(lz);
+        self.scratch.replace(sc);
         best.ok_or(SchedError::NoCompatibleUnit(v, self.core.g.kind(v)))
     }
 
@@ -640,6 +816,15 @@ impl ThreadedScheduler {
     /// this scheduler's `select`/`feasible_placements` on the current
     /// state).
     pub fn commit(&mut self, placement: Placement, v: OpId) {
+        self.commit_inner(placement, v, false);
+    }
+
+    /// [`ThreadedScheduler::commit`] body. With `frontier_ready` the
+    /// scheduled-frontier vectors already sitting in the scratch are
+    /// trusted (set by the `select` that produced `placement`, against
+    /// this exact state) instead of being recomputed — the internal
+    /// select-then-commit path uses this; the public entry never does.
+    fn commit_inner(&mut self, placement: Placement, v: OpId, frontier_ready: bool) {
         // Fault-injection hook: a no-op unless the test harness armed
         // a plan (and always in release builds).
         hls_ir::faultinject::tick_commit();
@@ -675,8 +860,10 @@ impl ThreadedScheduler {
         // Figure 2 rules for the scheduled frontier (dominated ancestors
         // and descendants are already ordered through it — DESIGN.md §4).
         let mut sc = std::mem::take(self.scratch.get_mut());
-        self.prep_scratch(&mut sc);
-        self.collect_frontiers(v, &mut sc);
+        if !frontier_ready {
+            self.prep_scratch(&mut sc);
+            self.collect_frontiers(v, &mut sc);
+        }
         let preds = std::mem::take(&mut sc.preds_f);
         let succs = std::mem::take(&mut sc.succs_f);
         for &p in &preds {
@@ -698,8 +885,8 @@ impl ThreadedScheduler {
             }
         }
         self.init_new_node(n, &mut lz);
-        self.propagate_forward(n, &mut sc.queue);
-        self.propagate_reach_backward(n, &mut sc.queue);
+        self.propagate_forward(n, &mut sc);
+        self.propagate_reach_backward(n, &mut sc);
         self.invalidate_tdist_backward(n, &mut lz);
         *self.n_tdist.get_mut() = lz;
         *self.scratch.get_mut() = sc;
@@ -721,7 +908,7 @@ impl ThreadedScheduler {
                 } else {
                     None
                 };
-                sched.assign(v, self.n_sdist[n] - self.n_delay[n], unit);
+                sched.assign(v, self.nh[n].sdist - self.nh[n].delay, unit);
             }
         }
         // Spill reloads issue as late as their state slack allows, so
@@ -746,8 +933,8 @@ impl ThreadedScheduler {
                 }
             }
             if latest != u64::MAX {
-                let asap = self.n_sdist[n] - self.n_delay[n];
-                let alap = latest.saturating_sub(self.n_delay[n]);
+                let asap = self.nh[n].sdist - self.nh[n].delay;
+                let alap = latest.saturating_sub(self.nh[n].delay);
                 if alap > asap {
                     let unit = sched.unit(v);
                     sched.assign(v, alap, unit);
@@ -767,7 +954,7 @@ impl ThreadedScheduler {
         let mut snap_of = vec![usize::MAX; self.op_of.len()];
         for (n, &op) in self.op_of.iter().enumerate() {
             let Some(op) = op else { continue };
-            let id = graph.add_op(self.core.g.kind(op), self.n_delay[n], self.core.g.label(op));
+            let id = graph.add_op(self.core.g.kind(op), self.nh[n].delay, self.core.g.label(op));
             snap_of[n] = id.index();
             ops.push(op);
             threads.push(self.n_thread[n] as usize);
@@ -934,8 +1121,14 @@ impl ThreadedScheduler {
     ///
     /// [`SchedError::NotAnExtension`] if `target` carries loop edges,
     /// is shorter than `map`, or a delta op's edge points at an op the
-    /// map does not cover; [`SchedError::Timeout`] on budget expiry;
-    /// otherwise the errors of [`refine_add_op`](Self::refine_add_op).
+    /// map does not cover; [`SchedError::Malformed`] if `map` carries
+    /// duplicate entries (two submitted indices aliasing one scheduled
+    /// op — translating through such a map would silently merge their
+    /// edge sets, last-write-wins); [`SchedError::Timeout`] on budget
+    /// expiry; otherwise the errors of
+    /// [`refine_add_op`](Self::refine_add_op). On every error the
+    /// state and `map` are unchanged unless ops were already added
+    /// (partial grafts extend `map` alongside the state).
     pub fn refine_graft(
         &mut self,
         target: &PrecedenceGraph,
@@ -944,6 +1137,26 @@ impl ThreadedScheduler {
     ) -> Result<Vec<OpId>, SchedError> {
         if target.has_loop_edges() || target.len() < map.len() {
             return Err(SchedError::NotAnExtension);
+        }
+        // An injective map is a precondition of the whole translation:
+        // with an alias, every edge at the duplicated entry lands on
+        // one op and the other submitted op silently loses its cone.
+        // Checked up front so the rejection leaves the state pristine.
+        let mut seen = vec![false; self.core.g.len()];
+        for &m in map.iter() {
+            match seen.get_mut(m.index()) {
+                Some(slot) if !*slot => *slot = true,
+                Some(_) => {
+                    return Err(SchedError::Malformed(format!(
+                        "graft map aliases scheduled op {m} under two submitted indices"
+                    )))
+                }
+                None => {
+                    return Err(SchedError::Malformed(format!(
+                        "graft map entry {m} is outside this state's id space"
+                    )))
+                }
+            }
         }
         let base_len = map.len();
         let mut added = Vec::with_capacity(target.len() - base_len);
@@ -996,7 +1209,7 @@ impl ThreadedScheduler {
                 self.core.g.label(op),
                 self.core.g.kind(op),
                 self.n_thread[n],
-                self.n_sdist[n] - self.n_delay[n],
+                self.nh[n].sdist - self.nh[n].delay,
                 COLORS[self.n_thread[n] as usize % COLORS.len()],
             );
         }
@@ -1029,8 +1242,8 @@ impl ThreadedScheduler {
         core.g.set_kind(v, kind);
         core.g.set_delay(v, delay);
         if let Some(n) = self.node_of[v.index()] {
-            self.total_delay = self.total_delay - self.n_delay[n as usize] + delay;
-            self.n_delay[n as usize] = delay;
+            self.total_delay = self.total_delay - self.nh[n as usize].delay + delay;
+            self.nh[n as usize].delay = delay;
             // Delays may shrink, so increase-only propagation does not
             // apply; this cold path relabels from scratch (which also
             // refreshes the lower-bound caches).
@@ -1091,7 +1304,7 @@ impl ThreadedScheduler {
         }
         for k in 0..self.threads {
             let mut cur = self.sent_s[k];
-            let mut last_pos = self.n_pos[cur as usize];
+            let mut last_pos = self.nh[cur as usize].pos;
             let mut count = 0usize;
             loop {
                 let next = self.out[cur as usize * s + k];
@@ -1101,7 +1314,7 @@ impl ThreadedScheduler {
                     }
                     break;
                 }
-                let np = self.n_pos[next as usize];
+                let np = self.nh[next as usize].pos;
                 if np <= last_pos {
                     return Err(format!("thread {k}: positions not increasing"));
                 }
@@ -1156,7 +1369,7 @@ impl ThreadedScheduler {
         let want_proj = (0..n_nodes)
             .filter_map(|n| {
                 self.op_of[n]
-                    .map(|op| sdist[n] - self.n_delay[n] + self.core.gdist[op.index()])
+                    .map(|op| sdist[n] - self.nh[n].delay + self.core.gdist[op.index()])
             })
             .max()
             .unwrap_or(0);
@@ -1173,7 +1386,7 @@ impl ThreadedScheduler {
             return Err("stale resource floor".to_string());
         }
         for n in 0..n_nodes {
-            if self.n_sdist[n] != sdist[n] || self.tdist_of(n as u32) != tdist[n] {
+            if self.nh[n].sdist != sdist[n] || self.tdist_of(n as u32) != tdist[n] {
                 return Err(format!("node {n}: stale labels"));
             }
             for j in 0..self.threads {
@@ -1202,7 +1415,7 @@ impl ThreadedScheduler {
         let t_node = self.alloc_raw_node(k, 0);
         self.out[s_node as usize * self.stride + k] = t_node;
         self.inc[t_node as usize * self.stride + k] = s_node;
-        self.n_pos[t_node as usize] = GAP;
+        self.nh[t_node as usize].pos = GAP;
         self.sent_s.push(s_node);
         self.sent_t.push(t_node);
         k
@@ -1239,14 +1452,12 @@ impl ThreadedScheduler {
         let idx = self.op_of.len() as u32;
         self.total_delay += delay;
         self.n_thread.push(thread as u32);
-        self.n_pos.push(0);
-        self.n_sdist.push(0);
+        self.nh.push(NodeHot { pos: 0, sdist: 0, delay });
         {
             let lz = self.n_tdist.get_mut();
             lz.val.push(0);
             lz.dirty.push(false);
         }
-        self.n_delay.push(delay);
         self.op_of.push(None);
         self.inc.extend(std::iter::repeat_n(NONE, self.stride));
         self.out.extend(std::iter::repeat_n(NONE, self.stride));
@@ -1261,14 +1472,14 @@ impl ThreadedScheduler {
     /// gap, renumbering the chain only when a gap is exhausted.
     fn assign_pos(&mut self, n: u32, prev: u32, next: u32, k: usize) {
         if next == self.sent_t[k] {
-            let p = self.n_pos[prev as usize] + GAP;
-            self.n_pos[n as usize] = p;
-            self.n_pos[next as usize] = p + GAP;
+            let p = self.nh[prev as usize].pos + GAP;
+            self.nh[n as usize].pos = p;
+            self.nh[next as usize].pos = p + GAP;
         } else {
-            let lo = self.n_pos[prev as usize];
-            let hi = self.n_pos[next as usize];
+            let lo = self.nh[prev as usize].pos;
+            let hi = self.nh[next as usize].pos;
             if hi - lo >= 2 {
-                self.n_pos[n as usize] = lo + (hi - lo) / 2;
+                self.nh[n as usize].pos = lo + (hi - lo) / 2;
             } else {
                 self.renumber_chain(k);
             }
@@ -1279,7 +1490,7 @@ impl ThreadedScheduler {
         let mut pos = 0u64;
         let mut cur = self.sent_s[k];
         loop {
-            self.n_pos[cur as usize] = pos;
+            self.nh[cur as usize].pos = pos;
             pos += GAP;
             let next = self.out[cur as usize * self.stride + k];
             if next == NONE {
@@ -1309,7 +1520,7 @@ impl ThreadedScheduler {
         self.commit(placement, v);
         let n = self.node_of[v.index()].expect("just committed");
         Ok(Placement {
-            cost: self.n_sdist[n as usize] + self.tdist_of(n) - self.n_delay[n as usize],
+            cost: self.nh[n as usize].sdist + self.tdist_of(n) - self.nh[n as usize].delay,
             ..placement
         })
     }
@@ -1360,7 +1571,7 @@ impl ThreadedScheduler {
                     best = best.max(lz.val[z as usize]);
                 }
             }
-            lz.val[yi] = best + self.n_delay[yi];
+            lz.val[yi] = best + self.nh[yi].delay;
             lz.dirty[yi] = false;
             stack.pop();
         }
@@ -1486,7 +1697,7 @@ impl ThreadedScheduler {
         let mut isnk = 0u64;
         for &p in &sc.preds_f {
             let pi = p as usize;
-            isrc = isrc.max(self.n_sdist[pi]);
+            isrc = isrc.max(self.nh[pi].sdist);
             let tp = self.n_thread[pi] as usize;
             sc.lo[tp] = self.later(sc.lo[tp], p);
             for (j, slot) in sc.lo[..self.threads].iter_mut().enumerate() {
@@ -1515,7 +1726,7 @@ impl ThreadedScheduler {
     fn later(&self, a: u32, b: u32) -> u32 {
         if a == NONE {
             b
-        } else if b == NONE || self.n_pos[a as usize] >= self.n_pos[b as usize] {
+        } else if b == NONE || self.nh[a as usize].pos >= self.nh[b as usize].pos {
             a
         } else {
             b
@@ -1526,7 +1737,7 @@ impl ThreadedScheduler {
     fn earlier(&self, a: u32, b: u32) -> u32 {
         if a == NONE {
             b
-        } else if b == NONE || self.n_pos[a as usize] <= self.n_pos[b as usize] {
+        } else if b == NONE || self.nh[a as usize].pos <= self.nh[b as usize].pos {
             a
         } else {
             b
@@ -1561,16 +1772,16 @@ impl ThreadedScheduler {
             // there instead of at the chain head.
             let mut cur = if sc.lo[k] != NONE { sc.lo[k] } else { self.sent_s[k] };
             let hi_pos = if sc.hi[k] != NONE {
-                self.n_pos[sc.hi[k] as usize]
+                self.nh[sc.hi[k] as usize].pos
             } else {
                 u64::MAX
             };
             loop {
                 let next = self.out[cur as usize * s + k];
-                if next == NONE || self.n_pos[cur as usize] >= hi_pos {
+                if next == NONE || self.nh[cur as usize].pos >= hi_pos {
                     break;
                 }
-                let sd = self.n_sdist[cur as usize].max(isrc);
+                let sd = self.nh[cur as usize].sdist.max(isrc);
                 let td = self.tdist_of(next).max(isnk);
                 f(Placement {
                     thread: k,
@@ -1593,7 +1804,7 @@ impl ThreadedScheduler {
         if q != NONE {
             // Rule (a): existing edge to a vertex at or before `n` already
             // implies `p ≺ n` through the chain.
-            if q == n || self.n_pos[q as usize] < self.n_pos[n as usize] {
+            if q == n || self.nh[q as usize].pos < self.nh[n as usize].pos {
                 return;
             }
             // Rule (c): the edge overshoots `n`; retarget it.
@@ -1605,7 +1816,7 @@ impl ThreadedScheduler {
         let p2 = self.inc[n as usize * s + j];
         if p2 == p {
             self.out[p as usize * s + k] = n;
-        } else if p2 != NONE && self.n_pos[p2 as usize] > self.n_pos[p as usize] {
+        } else if p2 != NONE && self.nh[p2 as usize].pos > self.nh[p as usize].pos {
             // A later vertex of thread `j` already guards `n`; `p ≺ p2 ≺ n`.
         } else {
             // `p` is tighter than the recorded predecessor; displace it.
@@ -1626,7 +1837,7 @@ impl ThreadedScheduler {
         if u != NONE {
             // Rule (d): `q` already follows a vertex after `n` in thread
             // `k`; `n ≺ u ≺ q` through the chain.
-            if u == n || self.n_pos[u as usize] > self.n_pos[n as usize] {
+            if u == n || self.nh[u as usize].pos > self.nh[n as usize].pos {
                 return;
             }
             // Rule (f): the edge comes from before `n`; retarget it.
@@ -1638,7 +1849,7 @@ impl ThreadedScheduler {
         let q2 = self.out[n as usize * s + j2];
         if q2 == q {
             self.inc[q as usize * s + k] = n;
-        } else if q2 != NONE && self.n_pos[q2 as usize] < self.n_pos[q as usize] {
+        } else if q2 != NONE && self.nh[q2 as usize].pos < self.nh[q as usize].pos {
             // An earlier vertex of thread `j2` is already guarded;
             // `n ≺ q2 ≺ q`.
         } else {
@@ -1662,7 +1873,7 @@ impl ThreadedScheduler {
             let m = self.inc[ni * s + j];
             if m != NONE {
                 let mi = m as usize;
-                sd = sd.max(self.n_sdist[mi]);
+                sd = sd.max(self.nh[mi].sdist);
                 for t in 0..self.threads {
                     let mut c = self.reach_b[mi * s + t];
                     if self.n_thread[mi] as usize == t && self.op_of[mi].is_some() {
@@ -1689,10 +1900,10 @@ impl ThreadedScheduler {
                 }
             }
         }
-        self.n_sdist[ni] = sd + self.n_delay[ni];
-        self.diam = self.diam.max(self.n_sdist[ni]);
+        self.nh[ni].sdist = sd + self.nh[ni].delay;
+        self.diam = self.diam.max(self.nh[ni].sdist);
         self.note_proj(ni);
-        lz.val[ni] = td + self.n_delay[ni];
+        lz.val[ni] = td + self.nh[ni].delay;
         lz.dirty[ni] = false;
     }
 
@@ -1702,7 +1913,7 @@ impl ThreadedScheduler {
         if let Some(op) = self.op_of[n] {
             self.proj = self
                 .proj
-                .max(self.n_sdist[n] - self.n_delay[n] + self.core.gdist[op.index()]);
+                .max(self.nh[n].sdist - self.nh[n].delay + self.core.gdist[op.index()]);
         }
     }
 
@@ -1756,48 +1967,86 @@ impl ThreadedScheduler {
     /// `commit` only replaces an edge by a longer-or-equal path through
     /// the new node, so labels are monotone and the worklist touches
     /// only nodes whose values actually change.
-    fn propagate_forward(&mut self, from: u32, queue: &mut Vec<u32>) {
+    ///
+    /// The two relaxations are independent (`sdist` never reads the
+    /// reach rows and vice versa), so they run as *separate* worklist
+    /// passes: the row merge self-limits after a handful of nodes (only
+    /// nodes that previously had no later thread-`k` ancestor change),
+    /// while the `sdist` cascade of a mid-chain insert runs down the
+    /// whole tail cone — keeping its inner loop free of the `threads²`
+    /// row merge is the difference between ~4 and ~10 random cache
+    /// lines per popped node.
+    fn propagate_forward(&mut self, from: u32, sc: &mut Scratch) {
         let s = self.stride;
-        queue.clear();
-        queue.push(from);
-        while let Some(x) = queue.pop() {
+        let tn = self.threads;
+        if sc.in_queue.len() < self.op_of.len() {
+            sc.in_queue.resize(self.op_of.len(), false);
+        }
+        // Pass 1: backward-reach rows over the forward cone.
+        sc.queue.clear();
+        sc.queue.push(from);
+        while let Some(x) = sc.queue.pop() {
             let xi = x as usize;
-            let x_thread = self.n_thread[xi] as usize;
-            let x_real = self.op_of[xi].is_some();
-            for j in 0..self.threads {
+            sc.in_queue[xi] = false;
+            // x's effective row — its backward-reach entries with x
+            // itself folded into its own thread's slot — copied out
+            // once, so the per-successor merge is slice-to-slice.
+            sc.row.clear();
+            sc.row.extend_from_slice(&self.reach_b[xi * s..xi * s + tn]);
+            if self.op_of[xi].is_some() {
+                let t = self.n_thread[xi] as usize;
+                sc.row[t] = self.later(sc.row[t], x);
+            }
+            for j in 0..tn {
                 let z = self.out[xi * s + j];
                 if z == NONE {
                     continue;
                 }
                 let zi = z as usize;
                 let mut improved = false;
-                let cand = self.n_sdist[xi] + self.n_delay[zi];
+                let nh = &self.nh;
+                for (slot, &c) in self.reach_b[zi * s..zi * s + tn].iter_mut().zip(&sc.row) {
+                    // Inlined `later(cur, c)` against the split-borrowed
+                    // position table.
+                    if c != NONE
+                        && (*slot == NONE || nh[*slot as usize].pos < nh[c as usize].pos)
+                    {
+                        *slot = c;
+                        improved = true;
+                    }
+                }
+                if improved && !sc.in_queue[zi] {
+                    sc.in_queue[zi] = true;
+                    sc.queue.push(z);
+                }
+            }
+        }
+        // Pass 2: the lean `sdist` cascade.
+        sc.queue.clear();
+        sc.queue.push(from);
+        while let Some(x) = sc.queue.pop() {
+            let xi = x as usize;
+            sc.in_queue[xi] = false;
+            let xsd = self.nh[xi].sdist;
+            for j in 0..tn {
+                let z = self.out[xi * s + j];
+                if z == NONE {
+                    continue;
+                }
+                let zi = z as usize;
+                let cand = xsd + self.nh[zi].delay;
                 // No legal path exceeds the sum of all delays; a larger
                 // label means an invalid placement closed a state cycle
                 // and the relaxation is orbiting it.
                 assert!(cand <= self.total_delay, "scheduling state must stay acyclic");
-                if cand > self.n_sdist[zi] {
-                    self.n_sdist[zi] = cand;
+                if cand > self.nh[zi].sdist {
+                    self.nh[zi].sdist = cand;
                     self.diam = self.diam.max(cand);
                     self.note_proj(zi);
-                    improved = true;
-                }
-                for t in 0..self.threads {
-                    let mut c = self.reach_b[xi * s + t];
-                    if t == x_thread && x_real {
-                        c = self.later(c, x);
+                    if !sc.in_queue[zi] {
+                        sc.in_queue[zi] = true;
+                        sc.queue.push(z);
                     }
-                    if c != NONE {
-                        let cur = self.reach_b[zi * s + t];
-                        let m = self.later(cur, c);
-                        if m != cur {
-                            self.reach_b[zi * s + t] = m;
-                            improved = true;
-                        }
-                    }
-                }
-                if improved {
-                    queue.push(z);
                 }
             }
         }
@@ -1809,37 +2058,43 @@ impl ThreadedScheduler {
     /// cone is nearly the whole state; reach entries, by contrast, only
     /// change for nodes that previously had no thread-`k` descendant,
     /// so this walk self-limits.)
-    fn propagate_reach_backward(&mut self, from: u32, queue: &mut Vec<u32>) {
+    fn propagate_reach_backward(&mut self, from: u32, sc: &mut Scratch) {
         let s = self.stride;
-        queue.clear();
-        queue.push(from);
-        while let Some(x) = queue.pop() {
+        let tn = self.threads;
+        if sc.in_queue.len() < self.op_of.len() {
+            sc.in_queue.resize(self.op_of.len(), false);
+        }
+        sc.queue.clear();
+        sc.queue.push(from);
+        while let Some(x) = sc.queue.pop() {
             let xi = x as usize;
-            let x_thread = self.n_thread[xi] as usize;
-            let x_real = self.op_of[xi].is_some();
-            for j in 0..self.threads {
+            sc.in_queue[xi] = false;
+            sc.row.clear();
+            sc.row.extend_from_slice(&self.reach_f[xi * s..xi * s + tn]);
+            if self.op_of[xi].is_some() {
+                let t = self.n_thread[xi] as usize;
+                sc.row[t] = self.earlier(sc.row[t], x);
+            }
+            for j in 0..tn {
                 let z = self.inc[xi * s + j];
                 if z == NONE {
                     continue;
                 }
                 let zi = z as usize;
                 let mut improved = false;
-                for t in 0..self.threads {
-                    let mut c = self.reach_f[xi * s + t];
-                    if t == x_thread && x_real {
-                        c = self.earlier(c, x);
-                    }
-                    if c != NONE {
-                        let cur = self.reach_f[zi * s + t];
-                        let m = self.earlier(cur, c);
-                        if m != cur {
-                            self.reach_f[zi * s + t] = m;
-                            improved = true;
-                        }
+                let nh = &self.nh;
+                for (slot, &c) in self.reach_f[zi * s..zi * s + tn].iter_mut().zip(&sc.row) {
+                    // Inlined `earlier(cur, c)`.
+                    if c != NONE
+                        && (*slot == NONE || nh[*slot as usize].pos > nh[c as usize].pos)
+                    {
+                        *slot = c;
+                        improved = true;
                     }
                 }
-                if improved {
-                    queue.push(z);
+                if improved && !sc.in_queue[zi] {
+                    sc.in_queue[zi] = true;
+                    sc.queue.push(z);
                 }
             }
         }
@@ -1905,7 +2160,7 @@ impl ThreadedScheduler {
                     }
                 }
             }
-            sdist[ii] = best + self.n_delay[ii];
+            sdist[ii] = best + self.nh[ii].delay;
         }
         for &i in topo.iter().rev() {
             let ii = i as usize;
@@ -1927,7 +2182,7 @@ impl ThreadedScheduler {
                     }
                 }
             }
-            tdist[ii] = best + self.n_delay[ii];
+            tdist[ii] = best + self.nh[ii].delay;
         }
         Some((sdist, tdist, rb, rf))
     }
@@ -1938,10 +2193,12 @@ impl ThreadedScheduler {
         let (sdist, tdist, rb, rf) = self
             .compute_labels_full()
             .expect("scheduling state must stay acyclic");
-        self.n_sdist = sdist;
+        for (h, &sd) in self.nh.iter_mut().zip(&sdist) {
+            h.sdist = sd;
+        }
         // Labels may have shrunk (delay retyping): recompute the cached
         // maxima instead of folding into the running ones.
-        self.diam = self.n_sdist.iter().copied().max().unwrap_or(0);
+        self.diam = self.nh.iter().map(|h| h.sdist).max().unwrap_or(0);
         self.refresh_proj();
         let lz = self.n_tdist.get_mut();
         lz.dirty.iter_mut().for_each(|d| *d = false);
@@ -2238,7 +2495,7 @@ mod tests {
             ts.commit(p, op);
             let n = ts.node_of[op.index()].unwrap();
             assert_eq!(
-                ts.n_sdist[n as usize] + ts.tdist_of(n) - ts.n_delay[n as usize],
+                ts.nh[n as usize].sdist + ts.tdist_of(n) - ts.nh[n as usize].delay,
                 p.cost,
                 "select's cost must equal the committed distance of {op}"
             );
@@ -2537,6 +2794,72 @@ mod tests {
             ts.refine_graft(&target, &mut map2, &Budget::steps(0)),
             Err(SchedError::Timeout)
         ));
+    }
+
+    #[test]
+    fn arena_reset_replays_bit_identically_to_a_fresh_clone() {
+        // The arena path: schedule, reset_to, schedule a *different*
+        // order — the reused state must behave exactly like a fresh
+        // clone of the template (same diameters, same hard schedules,
+        // invariants intact), including after a reset of a mid-run
+        // (partially scheduled) state.
+        let g = hls_ir::bench_graphs::ewf();
+        let resources = ResourceSet::classic(2, 2);
+        let template = ThreadedScheduler::new(g.clone(), resources.clone()).unwrap();
+        let topo = crate::meta::MetaSchedule::Topological
+            .order(&g, &resources)
+            .unwrap();
+        let dfs = crate::meta::MetaSchedule::Dfs.order(&g, &resources).unwrap();
+
+        let mut reused = template.clone();
+        reused.schedule_all(topo.iter().copied()).unwrap();
+        // Partially re-run, then reset again: a parked aborted run.
+        assert!(reused.reset_to(&template));
+        for &v in topo.iter().take(g.len() / 2) {
+            let p = reused.select(v).unwrap();
+            reused.commit(p, v);
+        }
+        assert!(reused.reset_to(&template));
+        reused.schedule_all(dfs.iter().copied()).unwrap();
+
+        let mut fresh = template.clone();
+        fresh.schedule_all(dfs.iter().copied()).unwrap();
+
+        assert_eq!(reused.diameter(), fresh.diameter());
+        assert_eq!(reused.history(), fresh.history());
+        for v in g.op_ids() {
+            assert_eq!(reused.thread_of(v), fresh.thread_of(v));
+        }
+        let (hr, hf) = (reused.extract_hard(), fresh.extract_hard());
+        for v in g.op_ids() {
+            assert_eq!(hr.start(v), hf.start(v));
+        }
+        reused.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arena_reset_refuses_diverged_or_poisoned_states() {
+        let g = hls_ir::bench_graphs::hal();
+        let resources = ResourceSet::classic(2, 2);
+        let template = ThreadedScheduler::new(g.clone(), resources.clone()).unwrap();
+
+        // Refinement grows the graph copy-on-write: the cores diverge
+        // and the reset must refuse rather than replay the wrong graph.
+        let order = crate::meta::MetaSchedule::Topological
+            .order(&g, &resources)
+            .unwrap();
+        let mut refined = template.clone();
+        refined.schedule_all(order).unwrap();
+        let sink = refined.graph().sinks()[0];
+        refined
+            .refine_add_op(OpKind::Nop, 1, "wire", &[sink], &[])
+            .unwrap();
+        assert!(!refined.reset_to(&template));
+
+        // Different resources refuse too.
+        let other = ThreadedScheduler::new(g.clone(), ResourceSet::classic(1, 1)).unwrap();
+        let mut mine = other.clone();
+        assert!(!mine.reset_to(&template));
     }
 
     #[test]

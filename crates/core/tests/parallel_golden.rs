@@ -115,6 +115,71 @@ fn golden_equivalence_below_cutoff() {
     }
 }
 
+/// The `sequential_cutoff` boundary, pinned at the default cutoff
+/// itself (ISSUE 9, satellite: the dispatch at *exactly* the cutoff).
+/// 8191 and 8192 ops take the sequential path inside the parallel
+/// engine — bit-identical to a plain `ThreadedScheduler` under the
+/// same meta order, `== cutoff` included (the contract is `len >
+/// cutoff` engages partitioning, so the boundary value itself is
+/// sequential). 8193 ops must actually partition, produce a valid
+/// schedule, and stay deterministic across repeated runs.
+#[test]
+fn sequential_cutoff_boundary_8191_8192_8193() {
+    let resources = ResourceSet::classic(2, 2);
+    let cutoff = ParallelConfig::default().sequential_cutoff;
+    assert_eq!(cutoff, 8192, "the default cutoff this test pins moved — update the sizes");
+
+    for ops in [cutoff - 1, cutoff] {
+        let g = generate::layered_dag(0xC0FF ^ ops as u64, &generate::LayeredConfig {
+            ops,
+            width: 24,
+            ..generate::LayeredConfig::default()
+        });
+        let order = MetaSchedule::Topological.order(&g, &resources).unwrap();
+        let mut ts = ThreadedScheduler::new(g.clone(), resources.clone()).unwrap();
+        ts.schedule_all(order).unwrap();
+        let seq_hard = ts.extract_hard();
+
+        let ps = ParallelScheduler::new(g.clone(), resources.clone(), ParallelConfig::default())
+            .unwrap();
+        let run = ps.run().unwrap();
+        assert!(
+            run.block_diameters.is_empty() && run.cut_edges == 0,
+            "{ops} ops: at or below the cutoff the partition path must not engage"
+        );
+        assert_eq!(run.diameter, ts.diameter(), "{ops} ops: diameter diverged");
+        for v in g.op_ids() {
+            assert_eq!(run.schedule.start(v), seq_hard.start(v), "{ops} ops: start of {v}");
+            assert_eq!(run.schedule.unit(v), seq_hard.unit(v), "{ops} ops: unit of {v}");
+        }
+    }
+
+    // One past the cutoff: the partition path engages for real.
+    let ops = cutoff + 1;
+    let g = generate::layered_dag(0xC0FF ^ ops as u64, &generate::LayeredConfig {
+        ops,
+        width: 24,
+        ..generate::LayeredConfig::default()
+    });
+    let cfg = ParallelConfig { workers: workers(), ..ParallelConfig::default() };
+    let ps = ParallelScheduler::new(g.clone(), resources.clone(), cfg.clone()).unwrap();
+    let run = ps.run().unwrap();
+    assert!(
+        !run.block_diameters.is_empty(),
+        "{ops} ops: one past the cutoff must partition"
+    );
+    schedule::validate(&g, &resources, &run.schedule).unwrap();
+    let again = ParallelScheduler::new(g.clone(), resources.clone(), cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(run.diameter, again.diameter, "{ops} ops: repeated runs agree");
+    for v in g.op_ids() {
+        assert_eq!(run.schedule.start(v), again.schedule.start(v));
+        assert_eq!(run.schedule.unit(v), again.schedule.unit(v));
+    }
+}
+
 #[test]
 fn default_config_is_partition_count_invariant_below_cutoff() {
     let resources = ResourceSet::classic(2, 2);

@@ -208,6 +208,52 @@ fn malformed_resubmissions_are_rejected() {
     ts.check_invariants().unwrap();
 }
 
+/// A translation map that aliases one scheduler op under two submitted
+/// indices used to be accepted silently: every delta edge naming
+/// either index landed on the same op (last-write-wins), and the other
+/// base op lost its delta cone with no diagnostic. The graft now
+/// rejects non-injective maps up front as [`SchedError::Malformed`],
+/// before touching the state.
+#[test]
+fn duplicate_map_entries_are_rejected_as_malformed() {
+    let resources = ResourceSet::classic(2, 2);
+    let g = generate::stress_dag(46, 150);
+    let mut ts = scheduled(&g, &resources);
+    let before = ts.diameter();
+
+    let mut target = g.clone();
+    let d = target.add_op(OpKind::Add, 1, "d0");
+    target.add_edge(OpId::from_index(3), d).unwrap();
+
+    // Submitted index 5 claims the scheduler op index 3 already stands
+    // for: two submitted ops, one scheduled op.
+    let mut map = identity_map(g.len());
+    map[5] = map[3];
+    let err = ts.refine_graft(&target, &mut map, &Budget::NONE).unwrap_err();
+    assert!(matches!(err, SchedError::Malformed(_)), "got {err}");
+    assert_eq!(map.len(), g.len(), "a rejected graft leaves the map alone");
+    assert_eq!(ts.diameter(), before, "a rejected graft leaves the state alone");
+    assert_eq!(ts.scheduled_count(), g.len());
+    ts.check_invariants().unwrap();
+
+    // An entry outside the state's id space is the same class of
+    // caller bug, caught by the same validation.
+    let mut map2 = identity_map(g.len());
+    map2[0] = OpId::from_index(g.len() + 7);
+    assert!(matches!(
+        ts.refine_graft(&target, &mut map2, &Budget::NONE),
+        Err(SchedError::Malformed(_))
+    ));
+
+    // The honest map over the same state still grafts.
+    let mut map3 = identity_map(g.len());
+    let added = ts.refine_graft(&target, &mut map3, &Budget::NONE).unwrap();
+    assert_eq!(added.len(), 1);
+    ts.check_invariants().unwrap();
+    let hard = ts.extract_hard();
+    schedule::validate(ts.graph(), &resources, &hard).unwrap();
+}
+
 /// Budget expiry mid-graft: the error is `Timeout`, the state keeps
 /// its invariants (each grafted op is atomic), and the map records
 /// exactly the ops that made it in — so the caller can resume.

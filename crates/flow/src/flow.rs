@@ -668,6 +668,54 @@ mod tests {
         assert!(out.report.final_states >= out.report.initial_states);
     }
 
+    /// The parallel-seat dispatch at *exactly* `sequential_cutoff`
+    /// (ISSUE 9 satellite): the seat engages only for `len > cutoff`,
+    /// so behaviors of `cutoff - 1` and exactly `cutoff` ops must be
+    /// bit-identical to the plain flow — full report and hard
+    /// schedule — while `cutoff + 1` partitions and still validates.
+    /// (The 8191/8192/8193 sizes against the default 8192 cutoff are
+    /// pinned engine-level in `threaded-sched`'s `parallel_golden`
+    /// suite; the flow-level dispatch is cutoff-relative, tested here
+    /// at a CI-sized cutoff.)
+    #[test]
+    fn parallel_seat_dispatch_at_exact_cutoff() {
+        let cutoff = 60usize;
+        for ops in [cutoff - 1, cutoff, cutoff + 1] {
+            let g = hls_ir::generate::layered_dag(
+                0x8192 ^ ops as u64,
+                &hls_ir::generate::LayeredConfig { ops, ..Default::default() },
+            );
+            let seq = run_flow(g.clone(), &FlowConfig::default()).unwrap();
+            let cfg = FlowConfig {
+                parallel: Some(threaded_sched::ParallelConfig {
+                    sequential_cutoff: cutoff,
+                    ..threaded_sched::ParallelConfig::default()
+                }),
+                ..FlowConfig::default()
+            };
+            let par = run_flow(g, &cfg).unwrap();
+            par.scheduler.check_invariants().unwrap();
+            sched_check::validate(par.scheduler.graph(), &cfg.resources, &par.schedule)
+                .unwrap();
+            if ops <= cutoff {
+                assert_eq!(par.report, seq.report, "{ops} ops: report diverged at the cutoff");
+                for v in par.scheduler.graph().op_ids() {
+                    assert_eq!(
+                        par.schedule.start(v),
+                        seq.schedule.start(v),
+                        "{ops} ops: start of {v}"
+                    );
+                    assert_eq!(par.schedule.unit(v), seq.schedule.unit(v), "{ops} ops: unit of {v}");
+                }
+            } else {
+                assert!(
+                    par.report.final_states >= par.report.initial_states,
+                    "{ops} ops: partitioned flow must still complete"
+                );
+            }
+        }
+    }
+
     #[test]
     fn tight_wire_model_inserts_wire_delays() {
         let cfg = FlowConfig {

@@ -141,6 +141,16 @@ impl ChainExtrema {
         self.max.resize(index.chain_count(), NO_UP);
     }
 
+    /// Empties the set in place — every chain back to "no member" —
+    /// re-synced to the chains of `index`. Buffer capacity is retained,
+    /// so arena-style reuse of a scheduler state allocates nothing.
+    pub fn clear(&mut self, index: &ReachIndex) {
+        self.min.clear();
+        self.max.clear();
+        self.min.resize(index.chain_count(), NO_DOWN);
+        self.max.resize(index.chain_count(), NO_UP);
+    }
+
     /// The lowest member position in chain `c` ([`NO_DOWN`] when the
     /// chain holds no member).
     pub fn min_of(&self, c: usize) -> Pos {
@@ -330,20 +340,24 @@ impl ReachIndex {
     /// any member of that chain reaches, so chain `c` contributes an
     /// ancestor exactly when `ex.min_of(c) ≤ up[v][c]`.
     pub fn set_reaches(&self, ex: &ChainExtrema, v: usize) -> bool {
-        self.up_row(v)
-            .iter()
-            .zip(&ex.min)
-            .any(|(&u, &m)| m <= u)
+        debug_assert_eq!(
+            ex.min.len(),
+            self.chains,
+            "extrema must be synced to the index (sync_chain_count after grow)"
+        );
+        kernels::any_le(&ex.min, self.up_row(v))
     }
 
     /// `true` iff some member of the set behind `ex` is strictly
     /// reached by `v` — the mirror of [`ReachIndex::set_reaches`]
     /// against the per-chain maxima and the `down` vector.
     pub fn set_reached_by(&self, ex: &ChainExtrema, v: usize) -> bool {
-        self.down_row(v)
-            .iter()
-            .zip(&ex.max)
-            .any(|(&d, &m)| m >= d)
+        debug_assert_eq!(
+            ex.max.len(),
+            self.chains,
+            "extrema must be synced to the index (sync_chain_count after grow)"
+        );
+        kernels::any_le(self.down_row(v), &ex.max)
     }
 
     /// The *convex closure* of `seed`: the seed vertices plus every
@@ -584,12 +598,17 @@ impl ReachIndex {
         let mut cur = head;
         let mut p = 0u32;
         loop {
-            if p == MAX_POS {
+            if p >= MAX_POS {
                 self.chain_len.push(p as Pos);
                 c = self.chain_len.len() as u32;
                 p = 0;
             }
             p += 1;
+            // A full chain ends exactly at MAX_POS = 65534: strictly
+            // below NO_DOWN (65535) and strictly above NO_UP (0), so
+            // both sentinels stay outside the position range even for
+            // the boundary member.
+            debug_assert!(p as Pos > NO_UP && (p as Pos) < NO_DOWN);
             self.chain[cur] = c;
             self.pos[cur] = p as Pos;
             match next(&self.chain, cur) {
@@ -709,28 +728,184 @@ fn max_matching(g: &PrecedenceGraph) -> Vec<u32> {
     }
 }
 
-/// `dst = min(dst, src)` elementwise; `true` if anything changed.
-fn min_into(dst: &mut [Pos], src: &[Pos]) -> bool {
-    let mut changed = false;
-    for (d, &s) in dst.iter_mut().zip(src) {
-        if s < *d {
-            *d = s;
-            changed = true;
-        }
-    }
-    changed
-}
+pub use kernels::{max_into, min_into};
 
-/// `dst = max(dst, src)` elementwise; `true` if anything changed.
-fn max_into(dst: &mut [Pos], src: &[Pos]) -> bool {
-    let mut changed = false;
-    for (d, &s) in dst.iter_mut().zip(src) {
-        if s > *d {
-            *d = s;
-            changed = true;
-        }
+/// Word-parallel (SWAR) kernels over the `u16` extremum rows.
+///
+/// Every row walk the index performs — the build/grow min/max
+/// relaxations and the `O(#chains)` set probes — reduces to an
+/// elementwise `min`/`max`/`≤` over two `u16` vectors. These kernels
+/// process **4 lanes per iteration** by packing four positions into one
+/// `u64` and doing per-lane unsigned comparison with plain integer
+/// arithmetic, so they run on stable Rust with no `unsafe` and no
+/// target-feature gates (the CI toolchain has no nightly `std::simd`).
+///
+/// The word trick: split a packed word into its even lanes (bits
+/// 0–15, 32–47) and odd lanes (shifted right 16). With 16-bit values
+/// `a`, `b` in even-lane slots, `(b | GUARD) − a` cannot borrow across
+/// lanes — `0x1_0000 + b − a` always fits in 17 bits — and its guard
+/// bit (bit 16 of each 32-bit slot) survives exactly when `a ≤ b`.
+/// That bit yields an "any lane ≤" probe directly, or a full-lane
+/// select mask via `(guard_bits >> 16) * 0xFFFF`. The scalar
+/// `*_scalar` twins are the oracles for the differential fuzz suite
+/// (`reach_properties.rs`) and for the microbench before/after.
+pub mod kernels {
+    use super::Pos;
+
+    /// Even-lane mask of a packed 4×`u16` word: lanes 0 and 2.
+    const EVEN: u64 = 0x0000_FFFF_0000_FFFF;
+    /// Per-even-lane borrow guards: bit 16 of each 32-bit slot.
+    const GUARD: u64 = 0x0001_0000_0001_0000;
+
+    /// Packs 4 consecutive positions into a `u64`, lane 0 lowest.
+    /// Compiles to a single 8-byte load on little-endian targets.
+    #[inline(always)]
+    fn pack(c: &[Pos]) -> u64 {
+        (c[0] as u64) | (c[1] as u64) << 16 | (c[2] as u64) << 32 | (c[3] as u64) << 48
     }
-    changed
+
+    /// Guard bits (16 and 48) set where `a ≤ b`, for even-lane values.
+    /// No inter-lane borrow: `0x1_0000 + b − a` fits in 17 bits.
+    #[inline(always)]
+    fn le_guards(a: u64, b: u64) -> u64 {
+        ((b | GUARD).wrapping_sub(a)) & GUARD
+    }
+
+    /// `0xFFFF` in each even lane where `a ≤ b`, `0` elsewhere. The
+    /// multiply broadcasts the isolated guard bits (at 0 and 32 after
+    /// the shift) into full lanes without overlap.
+    #[inline(always)]
+    fn le_mask(a: u64, b: u64) -> u64 {
+        (le_guards(a, b) >> 16).wrapping_mul(0xFFFF)
+    }
+
+    /// Per-lane minimum of two packed 4×`u16` words.
+    #[inline(always)]
+    fn lane_min(a: u64, b: u64) -> u64 {
+        let (ae, be) = (a & EVEN, b & EVEN);
+        let (ao, bo) = ((a >> 16) & EVEN, (b >> 16) & EVEN);
+        // Select `a` where `a ≤ b`, else `b`: b ^ ((a^b) & mask).
+        let me = be ^ ((ae ^ be) & le_mask(ae, be));
+        let mo = bo ^ ((ao ^ bo) & le_mask(ao, bo));
+        me | (mo << 16)
+    }
+
+    /// Per-lane maximum of two packed 4×`u16` words.
+    #[inline(always)]
+    fn lane_max(a: u64, b: u64) -> u64 {
+        let (ae, be) = (a & EVEN, b & EVEN);
+        let (ao, bo) = ((a >> 16) & EVEN, (b >> 16) & EVEN);
+        // Select `b` where `a ≤ b`, else `a`: a ^ ((a^b) & mask).
+        let me = ae ^ ((ae ^ be) & le_mask(ae, be));
+        let mo = ao ^ ((ao ^ bo) & le_mask(ao, bo));
+        me | (mo << 16)
+    }
+
+    /// Unpacks a word back into 4 consecutive positions.
+    #[inline(always)]
+    fn unpack(w: u64, c: &mut [Pos]) {
+        c[0] = w as Pos;
+        c[1] = (w >> 16) as Pos;
+        c[2] = (w >> 32) as Pos;
+        c[3] = (w >> 48) as Pos;
+    }
+
+    /// `dst = min(dst, src)` elementwise; `true` if anything changed.
+    /// 4 lanes per iteration, scalar ragged tail.
+    pub fn min_into(dst: &mut [Pos], src: &[Pos]) -> bool {
+        let n = dst.len().min(src.len());
+        let mut diff = 0u64;
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = pack(&dst[i..i + 4]);
+            let m = lane_min(d, pack(&src[i..i + 4]));
+            diff |= d ^ m;
+            unpack(m, &mut dst[i..i + 4]);
+            i += 4;
+        }
+        let mut changed = diff != 0;
+        for (d, &s) in dst[i..n].iter_mut().zip(&src[i..n]) {
+            if s < *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `dst = max(dst, src)` elementwise; `true` if anything changed.
+    pub fn max_into(dst: &mut [Pos], src: &[Pos]) -> bool {
+        let n = dst.len().min(src.len());
+        let mut diff = 0u64;
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = pack(&dst[i..i + 4]);
+            let m = lane_max(d, pack(&src[i..i + 4]));
+            diff |= d ^ m;
+            unpack(m, &mut dst[i..i + 4]);
+            i += 4;
+        }
+        let mut changed = diff != 0;
+        for (d, &s) in dst[i..n].iter_mut().zip(&src[i..n]) {
+            if s > *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `true` iff some lane has `a[i] ≤ b[i]` — the shared body of the
+    /// two set probes ([`super::ReachIndex::set_reaches`] is
+    /// `any_le(min, up_row)`; [`super::ReachIndex::set_reached_by`] is
+    /// `any_le(down_row, max)`). The all-false case — the common one
+    /// while a probe's answer is "no" — runs the full row at 4 lanes
+    /// per iteration with no data-dependent branches.
+    pub fn any_le(a: &[Pos], b: &[Pos]) -> bool {
+        let n = a.len().min(b.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let aw = pack(&a[i..i + 4]);
+            let bw = pack(&b[i..i + 4]);
+            let even = le_guards(aw & EVEN, bw & EVEN);
+            let odd = le_guards((aw >> 16) & EVEN, (bw >> 16) & EVEN);
+            if even | odd != 0 {
+                return true;
+            }
+            i += 4;
+        }
+        a[i..n].iter().zip(&b[i..n]).any(|(&x, &y)| x <= y)
+    }
+
+    /// Scalar oracle for [`min_into`] — reference semantics for the
+    /// differential fuzz suite and the kernel microbench.
+    pub fn min_into_scalar(dst: &mut [Pos], src: &[Pos]) -> bool {
+        let mut changed = false;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            if s < *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Scalar oracle for [`max_into`].
+    pub fn max_into_scalar(dst: &mut [Pos], src: &[Pos]) -> bool {
+        let mut changed = false;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            if s > *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Scalar oracle for [`any_le`].
+    pub fn any_le_scalar(a: &[Pos], b: &[Pos]) -> bool {
+        a.iter().zip(b).any(|(&x, &y)| x <= y)
+    }
 }
 
 #[cfg(test)]
@@ -957,6 +1132,105 @@ mod tests {
         let ex = idx.extrema([first]);
         assert!(idx.set_reaches(&ex, last));
         assert!(!idx.set_reached_by(&ex, last));
+    }
+
+    #[test]
+    fn exactly_full_chain_at_the_u16_limit_probes_both_endpoints() {
+        // A path of exactly MAX_POS = 65534 vertices: the largest graph
+        // a single chain may cover. The boundary member sits at
+        // position 65534 — one below the NO_DOWN sentinel (65535) — so
+        // any off-by-one in the extremum/sentinel arithmetic (a split
+        // one early, a position colliding with a sentinel, an extremum
+        // saturating at the wrong end) shows up here first.
+        let n = MAX_POS as usize; // 65534
+        let mut g = PrecedenceGraph::new();
+        let ids: Vec<OpId> = (0..n).map(|i| g.add_op(OpKind::Add, 1, format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let idx = ReachIndex::try_build(&g).unwrap();
+        assert_eq!(idx.chain_count(), 1, "an exactly-full path must not split");
+        let first = ids[0].index();
+        let last = ids[n - 1].index();
+        assert_eq!(idx.pos_of(first), 1);
+        assert_eq!(idx.pos_of(last) as u32, MAX_POS, "last position is 65534, not a sentinel");
+        assert!((idx.pos_of(last)) < NO_DOWN && idx.pos_of(first) > NO_UP);
+        // Pair probes at both endpoints, both directions.
+        assert!(idx.reaches(first, last));
+        assert!(!idx.reaches(last, first));
+        assert!(!idx.reaches(first, first), "strict at the head");
+        assert!(!idx.reaches(last, last), "strict at the boundary member");
+        // Extremum rows at the endpoints: the head's down entry is 2
+        // (its first strict descendant), the tail's up entry is 65533.
+        assert_eq!(idx.down_row(first)[0], 2);
+        assert_eq!(idx.up_row(first)[0], NO_UP);
+        assert_eq!(idx.down_row(last)[0], NO_DOWN);
+        assert_eq!(idx.up_row(last)[0] as u32, MAX_POS - 1);
+        // Set probes with each endpoint as the singleton set: min/max
+        // at the saturated position must compare correctly against the
+        // sentinels on the far side.
+        let head_ex = idx.extrema([first]);
+        assert!(idx.set_reaches(&head_ex, last), "head (min = 1) reaches the boundary member");
+        assert!(!idx.set_reached_by(&head_ex, last));
+        let tail_ex = idx.extrema([last]);
+        assert_eq!(tail_ex.min_of(0) as u32, MAX_POS);
+        assert_eq!(tail_ex.max_of(0) as u32, MAX_POS);
+        assert!(idx.set_reached_by(&tail_ex, first), "head is reached by the boundary member");
+        assert!(!idx.set_reaches(&tail_ex, first));
+        // One more vertex would split: pin the transition too.
+        let next = g.add_op(OpKind::Add, 1, "overflow");
+        g.add_edge(ids[n - 1], next).unwrap();
+        let mut idx2 = ReachIndex::try_build(&g).unwrap();
+        assert_eq!(idx2.chain_count(), 2, "the 65535th member starts a fresh chain");
+        assert_eq!(idx2.pos_of(next.index()), 1);
+        assert!(idx2.reaches(first, next.index()));
+        // And grow() across the boundary agrees with a fresh build.
+        let mut grown = ReachIndex::try_build(&{
+            let mut base = PrecedenceGraph::new();
+            let ids2: Vec<OpId> =
+                (0..n).map(|i| base.add_op(OpKind::Add, 1, format!("n{i}"))).collect();
+            for w in ids2.windows(2) {
+                base.add_edge(w[0], w[1]).unwrap();
+            }
+            base
+        })
+        .unwrap();
+        grown.try_grow(&g).unwrap();
+        assert!(grown.reaches(first, next.index()));
+        assert!(!grown.reaches(next.index(), first));
+        assert_eq!(grown.pos_of(last) as u32, MAX_POS);
+        let _ = idx2.try_grow(&g);
+    }
+
+    /// In-module spot checks of the word-parallel kernels; the ragged
+    /// tail / saturated-row fuzz lives in `tests/reach_properties.rs`.
+    #[test]
+    fn word_kernels_agree_with_scalar_oracles_on_edge_rows() {
+        use kernels::*;
+        let rows: [&[Pos]; 6] = [
+            &[],
+            &[NO_DOWN; 7],
+            &[NO_UP; 7],
+            &[1, NO_DOWN, MAX_POS as Pos, 0, 2, 65535, 3],
+            &[MAX_POS as Pos; 8],
+            &[5, 4, 3, 2, 1, 0, NO_DOWN, 9],
+        ];
+        for a in rows {
+            for b in rows {
+                if a.len() != b.len() {
+                    continue;
+                }
+                assert_eq!(any_le(a, b), any_le_scalar(a, b), "{a:?} vs {b:?}");
+                let mut d1 = a.to_vec();
+                let mut d2 = a.to_vec();
+                assert_eq!(min_into(&mut d1, b), min_into_scalar(&mut d2, b));
+                assert_eq!(d1, d2, "min {a:?} {b:?}");
+                let mut d1 = a.to_vec();
+                let mut d2 = a.to_vec();
+                assert_eq!(max_into(&mut d1, b), max_into_scalar(&mut d2, b));
+                assert_eq!(d1, d2, "max {a:?} {b:?}");
+            }
+        }
     }
 
     #[test]
