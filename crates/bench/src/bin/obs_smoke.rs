@@ -1,0 +1,202 @@
+//! Observability smoke driver (CI `obs-smoke` job).
+//!
+//! Three gates in one binary, cheapest first:
+//!
+//! 1. **Disabled-recorder wall** (`--check PATH`) — with the master
+//!    switch off, the 100k-op single-threaded `schedule_all` wall
+//!    (best of 3) must stay within 2 % of the committed `BENCH_7.json`
+//!    artifact. This is the acceptance number for "instrumentation
+//!    costs one relaxed load and a predicted branch when off".
+//! 2. **Traced 50k-op run** — the recorder on at sample-every-1 over
+//!    (a) a 50k-op portfolio race (the scale where tracing must not
+//!    perturb the engine) and (b) a full flow through the degradation
+//!    ladder (the post-schedule phases — placement, FSMD extraction —
+//!    are super-linear by design and only run at behavior-sized
+//!    inputs). The combined Chrome `trace_event` JSON must validate
+//!    as strict JSON and cover ≥ 6 distinct phase kinds, including
+//!    the scheduling, extraction, portfolio and ladder phases.
+//! 3. **STATS plane** — a live in-process daemon answers a scheduling
+//!    request and then a `STATS` query; the snapshot must be strict
+//!    JSON and count the request.
+//!
+//! Usage: `obs_smoke [--quick] [--check PATH] [TRACE_OUT]`
+//!
+//! * `--quick` — 5k-op traced flow (PR-turnaround smoke; the phase
+//!   coverage gate is unchanged);
+//! * `--check PATH` — enables the disabled-recorder wall gate against
+//!   the committed artifact at PATH;
+//! * `TRACE_OUT` — where the Chrome trace is written (default
+//!   `obs-trace.json`).
+
+use hls_bench::complexity::{scaling_sweep, sweep_config};
+use hls_flow::{run_flow_degraded, FlowConfig};
+use hls_ir::{bench_graphs, generate, textfmt};
+use hls_serve::{BindAddr, Client, RequestOpts, ServeConfig, Server};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// The disabled-recorder regression envelope over the committed
+/// artifact (the observability PR's acceptance number; the generic
+/// hot-path gate in `microbench --check` stays at 15 %).
+const WALL_TOLERANCE: f64 = 1.02;
+
+/// Phases a portfolio flow through the ladder must visibly cross.
+const EXPECTED_PHASES: &[&str] = &[
+    "flow:schedule",
+    "flow:extract",
+    "portfolio:race",
+    "portfolio:run",
+    "degrade:rung",
+];
+
+fn main() {
+    let mut quick = false;
+    let mut check: Option<String> = None;
+    let mut trace_out = "obs-trace.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--check" {
+            check = Some(args.next().expect("--check takes the committed artifact path"));
+        } else {
+            trace_out = arg;
+        }
+    }
+
+    if let Some(path) = &check {
+        check_disabled_wall(path);
+    }
+    traced_flow_covers_the_phases(if quick { 5_000 } else { 50_000 }, &trace_out);
+    stats_round_trips_on_a_live_daemon();
+    println!("obs_smoke: all gates passed");
+}
+
+/// Gate 1: the recorder's disabled cost must be invisible at the 2 %
+/// level on the 100k-op single-threaded wall.
+fn check_disabled_wall(artifact: &str) {
+    assert!(
+        !hls_obs::enabled(),
+        "the wall gate measures the DISABLED recorder"
+    );
+    let committed = std::fs::read_to_string(artifact)
+        .unwrap_or_else(|e| panic!("cannot read committed artifact {artifact}: {e}"));
+    let committed_us: u128 = committed
+        .lines()
+        .find_map(|l| {
+            let l = l.trim();
+            l.strip_prefix("\"wall_100k_us\":")
+                .map(|v| v.trim_end_matches(',').trim())
+        })
+        .and_then(|v| v.parse().ok())
+        .expect("committed artifact must carry a numeric wall_100k_us");
+    // Warmup discarded, then best-of-3: on a shared host noise only
+    // adds time, so the minimum is the honest estimate.
+    let _ = scaling_sweep(&[256], 0);
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        best = best.min(scaling_sweep(&[100000], 0)[0].opt_us);
+    }
+    let limit = (committed_us as f64 * WALL_TOLERANCE) as u128;
+    println!(
+        "disabled-recorder 100k-op wall: best-of-3 {best} us, committed {committed_us} us, limit {limit} us"
+    );
+    assert!(
+        best <= limit,
+        "FAIL: disabled-recorder wall regressed more than 2% vs the committed BENCH_7 artifact"
+    );
+    println!("OK: disabled recording is within the 2% envelope");
+}
+
+/// Gate 2: a traced run produces a valid Chrome trace covering the
+/// expected phase kinds.
+fn traced_flow_covers_the_phases(ops: usize, trace_out: &str) {
+    hls_obs::recorder::clear_events();
+    hls_obs::recorder::set_sample_every(1);
+    hls_obs::set_enabled(true);
+
+    // (a) The portfolio race at headline scale.
+    let g = generate::layered_dag(0x5EED ^ ops as u64, &sweep_config(ops));
+    let resources = hls_ir::ResourceSet::classic(2, 2);
+    let pcfg = hls_search::portfolio::PortfolioConfig::default();
+    let t0 = Instant::now();
+    let race = hls_search::portfolio::run_portfolio(&g, &resources, &pcfg)
+        .unwrap_or_else(|e| panic!("traced {ops}-op portfolio race must complete: {e}"));
+    let race_wall = t0.elapsed();
+    println!(
+        "traced {ops}-op portfolio race: diameter {} in {} ms",
+        race.diameter,
+        race_wall.as_millis()
+    );
+
+    // (b) A full flow through the ladder at behavior scale.
+    let flow_ops = 800;
+    let fg = generate::layered_dag(0x5EED ^ flow_ops as u64, &sweep_config(flow_ops));
+    let t1 = Instant::now();
+    let out = run_flow_degraded(&fg, &FlowConfig::default())
+        .unwrap_or_else(|e| panic!("traced {flow_ops}-op flow must complete: {e}"));
+    let flow_wall = t1.elapsed();
+    hls_obs::set_enabled(false);
+
+    let events = hls_obs::recorder::snapshot_events();
+    let trace = hls_obs::export::chrome_trace_json(&events);
+    hls_obs::export::validate_json(&trace)
+        .unwrap_or_else(|at| panic!("chrome trace is not strict JSON (byte {at})"));
+    let kinds: BTreeSet<&str> = events.iter().map(|e| e.phase.name()).collect();
+    println!(
+        "traced {flow_ops}-op flow: rung {}, {} events, {} phase kinds in {} ms: {:?}",
+        out.rung.name(),
+        events.len(),
+        kinds.len(),
+        flow_wall.as_millis(),
+        kinds
+    );
+    assert!(
+        kinds.len() >= 6,
+        "trace must cover >= 6 distinct phase kinds, got {kinds:?}"
+    );
+    for want in EXPECTED_PHASES {
+        assert!(kinds.contains(want), "trace is missing phase {want}: {kinds:?}");
+    }
+    std::fs::write(trace_out, &trace).expect("writing the trace JSON must succeed");
+    println!("wrote {trace_out} ({} bytes)", trace.len());
+}
+
+/// Gate 3: STATS on a live daemon counts the work it just served.
+fn stats_round_trips_on_a_live_daemon() {
+    hls_obs::set_enabled(true);
+    let server = Server::start(&BindAddr::Tcp("127.0.0.1:0".into()), ServeConfig::default())
+        .expect("bind ephemeral port");
+    let text = textfmt::to_text(&bench_graphs::ewf());
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let before = c.stats().expect("STATS before load");
+    hls_obs::export::validate_json(&before).expect("STATS body must be strict JSON");
+    let a = c.schedule(&text, &RequestOpts::default()).expect("schedule");
+    assert_ne!(a.trace, 0, "an OK line must carry a trace id");
+    let after = c.stats().expect("STATS after load");
+    hls_obs::export::validate_json(&after).expect("STATS body must be strict JSON");
+    assert!(
+        counter(&after, "serve_requests") > counter(&before, "serve_requests"),
+        "STATS must count the request it just served"
+    );
+    server.shutdown(Duration::from_secs(10));
+    hls_obs::set_enabled(false);
+    println!(
+        "STATS round-trip: serve_requests {} -> {}, trace {:016x}",
+        counter(&before, "serve_requests"),
+        counter(&after, "serve_requests"),
+        a.trace
+    );
+}
+
+/// Pulls a top-level `"name":N` integer out of the flat metrics JSON.
+fn counter(json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key).unwrap_or_else(|| panic!("no {name} in snapshot"));
+    json[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {name} in snapshot"))
+}

@@ -156,7 +156,10 @@ impl ParallelScheduler {
             tolerance: cfg.tolerance,
             ..PartitionConfig::default()
         };
-        let partition = partition::partition(&g, &pcfg)?;
+        let partition = {
+            let _span = hls_obs::obs_span!(ParallelPartition, "", g.len() as u64);
+            partition::partition(&g, &pcfg)?
+        };
         Ok(ParallelScheduler { g, resources, cfg, partition })
     }
 
@@ -184,7 +187,11 @@ impl ParallelScheduler {
             return self.run_sequential();
         }
         let blocks = self.partition.blocks();
-        let (outs, ledger_floor) = self.schedule_blocks(&blocks)?;
+        let (outs, ledger_floor) = {
+            let _span = hls_obs::obs_span!(ParallelBlocks, "", blocks.len() as u64);
+            self.schedule_blocks(&blocks)?
+        };
+        let _span = hls_obs::obs_span!(ParallelStitch, "", blocks.len() as u64);
         self.stitch(&blocks, &outs, ledger_floor)
     }
 
@@ -505,6 +512,7 @@ impl ParallelScheduler {
     /// The errors of [`ThreadedScheduler::new`] and
     /// [`ThreadedScheduler::schedule`].
     pub fn materialize(&self, run: &ParallelRun) -> Result<ThreadedScheduler, SchedError> {
+        let _span = hls_obs::obs_span!(ParallelMaterialize, "", self.g.len() as u64);
         let mut ts = ThreadedScheduler::new(self.g.clone(), self.resources.clone())?;
         let mut tails: Vec<Option<OpId>> = vec![None; self.resources.k()];
         for &v in &run.meta_order {

@@ -679,6 +679,7 @@ impl ThreadedScheduler {
     /// bit-identical to the exhaustive forward scan — pinned by the
     /// Theorem 2 oracle tests and the golden-equivalence suite.
     fn select_impl(&self, v: OpId, late: bool) -> Result<Placement, SchedError> {
+        hls_obs::obs_count!(SelectCalls);
         if v.index() >= self.core.g.len() {
             return Err(SchedError::UnknownOp(v));
         }
@@ -825,6 +826,7 @@ impl ThreadedScheduler {
     /// this exact state) instead of being recomputed — the internal
     /// select-then-commit path uses this; the public entry never does.
     fn commit_inner(&mut self, placement: Placement, v: OpId, frontier_ready: bool) {
+        hls_obs::obs_count!(CommitCalls);
         // Fault-injection hook: a no-op unless the test harness armed
         // a plan (and always in release builds).
         hls_ir::faultinject::tick_commit();

@@ -177,8 +177,14 @@ pub fn run_flow_degraded(
     ];
 
     for (rung, rung_cfg) in rungs {
-        match crate::run_flow(graph.clone(), &rung_cfg) {
-            Ok(outcome) => {
+        let attempt = {
+            let _span = hls_obs::obs_span!(DegradeRung, rung.name(), u64::from(rung.rank()));
+            crate::run_flow(graph.clone(), &rung_cfg)
+        };
+        match attempt {
+            Ok(mut outcome) => {
+                answered_at(rung);
+                outcome.report.rung = Some(rung.name());
                 let lower_bound = outcome.scheduler.schedule_lower_bound();
                 return Ok(DegradedOutcome {
                     rung,
@@ -188,7 +194,10 @@ pub fn run_flow_degraded(
                 });
             }
             Err(e) => match recoverable(&e) {
-                Some(reason) => degraded.push(DegradeStep { rung, reason }),
+                Some(reason) => {
+                    demotion(rung, &reason);
+                    degraded.push(DegradeStep { rung, reason });
+                }
                 None => return Err(e),
             },
         }
@@ -205,12 +214,40 @@ pub fn run_flow_degraded(
     };
     let lower_bound =
         ThreadedScheduler::new(g, config.resources.clone())?.schedule_lower_bound();
+    answered_at(DegradeRung::BoundOnly);
     Ok(DegradedOutcome {
         rung: DegradeRung::BoundOnly,
         outcome: None,
         lower_bound,
         degraded,
     })
+}
+
+/// Counts a ladder demotion by typed reason and drops a ring marker
+/// naming the abandoned rung, so traces and STATS both show every
+/// transition. A poisoned rung is a caught panic, so it additionally
+/// freezes a flight-recorder post-mortem — the ladder absorbs the
+/// crash, but the evidence survives.
+fn demotion(rung: DegradeRung, reason: &DegradeReason) {
+    match reason {
+        DegradeReason::Timeout => hls_obs::obs_count!(DegradeTimeout),
+        DegradeReason::Poisoned(msg) => {
+            hls_obs::obs_count!(DegradePoisoned);
+            hls_obs::flight::dump(&format!("ladder rung '{}' poisoned: {msg}", rung.name()));
+        }
+        DegradeReason::Error(_) => hls_obs::obs_count!(DegradeError),
+    }
+    hls_obs::obs_instant!(DegradeRung, rung.name(), u64::from(rung.rank()));
+}
+
+/// Counts which rung finally answered.
+fn answered_at(rung: DegradeRung) {
+    match rung {
+        DegradeRung::Portfolio => hls_obs::obs_count!(AnsweredPortfolio),
+        DegradeRung::SingleMeta => hls_obs::obs_count!(AnsweredSingleMeta),
+        DegradeRung::ListSchedule => hls_obs::obs_count!(AnsweredListSchedule),
+        DegradeRung::BoundOnly => hls_obs::obs_count!(AnsweredBoundOnly),
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,11 @@ pub struct FlowReport {
     pub registers: usize,
     /// Total traffic-weighted wirelength of the placement.
     pub wirelength: u64,
+    /// The degradation-ladder rung that produced this answer
+    /// ([`crate::DegradeRung::name`]), or `None` when the flow ran
+    /// directly (no ladder involved). Clients use this to see *why*
+    /// they got a degraded answer.
+    pub rung: Option<&'static str>,
 }
 
 /// Everything the flow produces.
@@ -338,6 +343,8 @@ fn eco_flow_inner(
     config: &FlowConfig,
     budget: &hls_ir::Budget,
 ) -> Result<(FlowOutcome, EcoBase), FlowError> {
+    let _span = hls_obs::obs_span!(EcoGraft, "", target.len() as u64);
+    hls_obs::obs_count!(EcoGrafts);
     // Delta φs would need register allocation to resolve; that is the
     // cold flow's job, not the delta path's.
     for i in base.map.len()..target.len() {
@@ -395,6 +402,7 @@ fn eco_flow_inner(
         final_states,
         registers: registers.register_count(),
         wirelength,
+        rung: None,
     };
     let next_base = EcoBase {
         scheduler: ts.clone(),
@@ -450,6 +458,7 @@ fn run_flow_inner(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOut
     // The meta/portfolio paths honour the flow budget and stop within
     // one commit of expiry; the partitioned path is the fast path and
     // runs unbudgeted (see [`FlowConfig::parallel`]).
+    let _sched_span = hls_obs::obs_span!(FlowSchedule, "", graph.len() as u64);
     let ts = match (&config.portfolio, &config.parallel) {
         (Some(pcfg), _) => {
             let pcfg = hls_search::PortfolioConfig {
@@ -478,6 +487,7 @@ fn run_flow_inner(graph: PrecedenceGraph, config: &FlowConfig) -> Result<FlowOut
             }
         }
     };
+    drop(_sched_span);
     finish_flow(ts, pipeline, modulo, config)
 }
 
@@ -495,6 +505,7 @@ pub(crate) fn finish_flow(
     // 2. Register allocation with spilling, absorbed softly. Spilling
     // stops at the budget, on stall (pressure no longer dropping — the
     // remaining pressure is inherent), or at a hard bound.
+    let spill_span = hls_obs::obs_span!(FlowSpill);
     let mut spills = 0usize;
     if let Some(budget) = config.register_budget {
         let max_spills = ts.graph().len();
@@ -525,7 +536,10 @@ pub(crate) fn finish_flow(
         }
     }
 
+    drop(spill_span);
+
     // 3. φ resolution: same-register sources vanish, others become moves.
+    let phi_span = hls_obs::obs_span!(FlowPhi);
     let hard = ts.extract_hard();
     let ls = lifetimes::lifetimes(ts.graph(), &hard)
         .map_err(|e| FlowError::Lifetime(e.to_string()))?;
@@ -555,8 +569,11 @@ pub(crate) fn finish_flow(
         }
     }
 
+    drop(phi_span);
+
     // 4–5. Binding is the thread assignment; place and absorb wire
     // delays.
+    let place_span = hls_obs::obs_span!(FlowPlace);
     let hard = ts.extract_hard();
     let start_fp =
         Floorplan::row_major(config.resources.k(), config.grid.0, config.grid.1);
@@ -569,7 +586,10 @@ pub(crate) fn finish_flow(
         refine::insert_wire_delay(&mut ts, t.from, t.to, t.cycles)?;
     }
 
+    drop(place_span);
+
     // 6. Extract, validate, build the FSMD.
+    let _extract_span = hls_obs::obs_span!(FlowExtract);
     let schedule = ts.extract_hard();
     sched_check::validate(ts.graph(), &config.resources, &schedule)
         .map_err(|e| FlowError::Invalid(e.to_string()))?;
@@ -589,6 +609,7 @@ pub(crate) fn finish_flow(
         final_states,
         registers: registers.register_count(),
         wirelength,
+        rung: None,
     };
     Ok(FlowOutcome {
         modulo,

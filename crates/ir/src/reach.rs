@@ -308,6 +308,7 @@ impl ReachIndex {
 
     /// `true` iff `u` strictly reaches `v` (`u ≺_G v`).
     pub fn reaches(&self, u: usize, v: usize) -> bool {
+        hls_obs::obs_count!(ReachPairProbes);
         self.down[u * self.stride + self.chain[v] as usize] <= self.pos[v]
     }
 
@@ -340,6 +341,7 @@ impl ReachIndex {
     /// any member of that chain reaches, so chain `c` contributes an
     /// ancestor exactly when `ex.min_of(c) ≤ up[v][c]`.
     pub fn set_reaches(&self, ex: &ChainExtrema, v: usize) -> bool {
+        hls_obs::obs_count!(ReachSetProbes);
         debug_assert_eq!(
             ex.min.len(),
             self.chains,
@@ -352,6 +354,7 @@ impl ReachIndex {
     /// reached by `v` — the mirror of [`ReachIndex::set_reaches`]
     /// against the per-chain maxima and the `down` vector.
     pub fn set_reached_by(&self, ex: &ChainExtrema, v: usize) -> bool {
+        hls_obs::obs_count!(ReachSetProbes);
         debug_assert_eq!(
             ex.max.len(),
             self.chains,

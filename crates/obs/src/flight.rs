@@ -1,0 +1,78 @@
+//! The crash flight recorder: when a strategy is poisoned or a
+//! served request panics, dump the span ring and metrics registry as
+//! one JSON post-mortem.
+//!
+//! The last dump is always retrievable in-process via
+//! [`last_flight`]; set `HLS_FLIGHT_DIR` to additionally write each
+//! dump to a file in that directory (best-effort — a full disk must
+//! never take down the daemon that is busy surviving a panic).
+
+use crate::metrics::Counter;
+use crate::{export, metrics, recorder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+fn last_slot() -> &'static Mutex<Option<String>> {
+    static LAST: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Captures a flight dump: `{"reason": ..., "seq": ...,
+/// "metrics": {...}, "trace": {...}}`. Stores it as the in-process
+/// last flight, bumps [`Counter::FlightDumps`], and (if
+/// `HLS_FLIGHT_DIR` is set) writes `flight-<seq>.json` there.
+/// Returns the dump so callers can attach it to an error path.
+pub fn dump(reason: &str) -> String {
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let events = recorder::snapshot_events();
+    let body = format!(
+        "{{\"reason\":\"{}\",\"seq\":{},\"metrics\":{},\"trace\":{}}}",
+        export::json_escape(reason),
+        seq,
+        export::metrics_json(&metrics::snapshot()),
+        export::chrome_trace_json(&events),
+    );
+    metrics::counter_add(Counter::FlightDumps, 1);
+    *last_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(body.clone());
+    if let Ok(dir) = std::env::var("HLS_FLIGHT_DIR") {
+        if !dir.is_empty() {
+            let path = std::path::Path::new(&dir).join(format!("flight-{seq}.json"));
+            let _ = std::fs::write(path, &body);
+        }
+    }
+    body
+}
+
+/// The most recent flight dump, if any.
+pub fn last_flight() -> Option<String> {
+    last_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Clears the in-process last flight (test isolation).
+pub fn clear_last_flight() {
+    *last_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_is_valid_json_and_retrievable() {
+        let body = dump("unit-test \"panic\"");
+        crate::export::validate_json(&body).expect("flight dump must parse");
+        assert!(body.contains("unit-test \\\"panic\\\""));
+        assert_eq!(last_flight().as_deref(), Some(body.as_str()));
+        clear_last_flight();
+        assert!(last_flight().is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Leveled logging through the recorder, filtered by the `HLS_LOG`
+//! environment variable (`error|warn|info|debug|trace`, default
+//! `info`; `off` silences everything).
+//!
+//! Events at or above the active level go to stderr; when the
+//! recorder is enabled they are also stamped into the span ring so a
+//! flight dump carries the recent log tail.
+
+use crate::metrics::Counter;
+use crate::{metrics, recorder};
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The daemon cannot do what was asked of it.
+    Error = 0,
+    /// Something degraded but service continues.
+    Warn = 1,
+    /// Lifecycle milestones (boot, drain, shutdown).
+    Info = 2,
+    /// Per-request detail.
+    Debug = 3,
+    /// Firehose.
+    Trace = 4,
+}
+
+impl Level {
+    /// Fixed-width tag for stderr lines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses an `HLS_LOG` value. `None` for unrecognised input.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" | "" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// The active filter: events strictly below it are dropped. `None`
+/// means logging is off entirely.
+pub fn max_level() -> Option<Level> {
+    static MAX: OnceLock<Option<Level>> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        match std::env::var("HLS_LOG") {
+            Ok(v) => Level::parse(&v).unwrap_or(Some(Level::Info)),
+            Err(_) => Some(Level::Info),
+        }
+    })
+}
+
+/// True when an event at `level` would be emitted.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Emits one log event: stderr line (`[LEVEL target] message`) plus
+/// a ring record when the recorder is enabled. Prefer the
+/// `obs_log!` / `obs_info!`-family macros at call sites.
+pub fn log_event(level: Level, target: &str, message: &str) {
+    if !log_enabled(level) {
+        return;
+    }
+    metrics::counter_add(Counter::LogEvents, 1);
+    eprintln!("[{} {}] {}", level.tag(), target, message);
+    recorder::log_record(level as u8, &format!("{target}: {message}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_values() {
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("ERROR"), Some(Some(Level::Error)));
+        assert_eq!(Level::parse(" warn "), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("info"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("trace"), Some(Some(Level::Trace)));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::from_u8(1), Level::Warn);
+        assert_eq!(Level::from_u8(200), Level::Trace);
+    }
+}

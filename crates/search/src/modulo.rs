@@ -209,6 +209,7 @@ pub fn run_modulo_portfolio(
         "II window × orders exceeds the packed-slot budget"
     );
 
+    let _race_span = hls_obs::obs_span!(ModuloRace, "", candidates.len() as u64);
     let incumbent = AtomicU64::new(u64::MAX);
     let next_job = AtomicUsize::new(0);
     let workers = crate::race_workers(cfg.threads, candidates.len());
@@ -257,8 +258,10 @@ pub fn run_modulo_portfolio(
                 // (e.g. latency computation), so no panic crosses the
                 // race. The run executes inside a fault-injection
                 // scope named after the candidate tag.
+                hls_obs::obs_count!(ModuloCandidates);
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let tag = format!("ii={ii}/{}", orders[oi].0);
+                    let _span = hls_obs::obs_span!(ModuloCandidate, &tag, ii);
                     let _scope = hls_ir::faultinject::RunScope::enter(&tag);
                     let run = match &orders[oi].1 {
                         None => sched.schedule_at_budgeted(ii, budget),

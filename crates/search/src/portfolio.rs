@@ -278,6 +278,8 @@ fn run_candidate(
     incumbent: &AtomicU64,
     budget: &hls_ir::Budget,
 ) -> RunResult {
+    hls_obs::obs_count!(StrategySpawned);
+    let _span = hls_obs::obs_span!(PortfolioRun, &cand.name, slot);
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _scope = hls_ir::faultinject::RunScope::enter(&cand.name);
         let order = cand.source.resolve(g, resources)?;
@@ -299,15 +301,18 @@ fn run_candidate(
                 }
             }
             Ok(RunOutcome::Aborted { scheduled }) => {
+                hls_obs::obs_count!(StrategyAborted);
                 arena.park(ts);
                 RunResult::Aborted { scheduled }
             }
             Ok(RunOutcome::DeadlineExpired { scheduled }) => {
+                hls_obs::obs_count!(StrategyTimedOut);
                 arena.park(ts);
                 RunResult::TimedOut { scheduled }
             }
             Err(SchedError::Poisoned(msg)) => {
                 // A poisoned state would fail the reset anyway: drop it.
+                poisoned_post_mortem(&cand.name, &msg);
                 RunResult::Poisoned {
                     scheduled: ts.scheduled_count(),
                     msg,
@@ -319,11 +324,21 @@ fn run_candidate(
     match attempt {
         Ok(Ok(result)) => result,
         Ok(Err(e)) => RunResult::Fatal(e),
-        Err(payload) => RunResult::Poisoned {
-            scheduled: 0,
-            msg: threaded_sched::panic_message(payload.as_ref()),
-        },
+        Err(payload) => {
+            let msg = threaded_sched::panic_message(payload.as_ref());
+            poisoned_post_mortem(&cand.name, &msg);
+            RunResult::Poisoned { scheduled: 0, msg }
+        }
     }
+}
+
+/// Records a poisoned strategy: lifecycle counter, ring marker, and a
+/// flight-recorder dump so the panic leaves a post-mortem even though
+/// the race swallows it and continues.
+fn poisoned_post_mortem(name: &str, msg: &str) {
+    hls_obs::obs_count!(StrategyPoisoned);
+    hls_obs::obs_instant!(PortfolioRun, name, 1);
+    hls_obs::flight::dump(&format!("portfolio strategy '{name}' poisoned: {msg}"));
 }
 
 /// [`race`] with a caller-supplied pristine scheduler — what
@@ -348,6 +363,7 @@ fn race_from(
             best: None,
         });
     }
+    let _race_span = hls_obs::obs_span!(PortfolioRace, "", candidates.len() as u64);
     let incumbent = AtomicU64::new(bound.map_or(u64::MAX, |d| pack(d, 0)));
     let next_job = AtomicUsize::new(0);
     let workers = race_workers(threads, candidates.len());
@@ -447,6 +463,10 @@ fn race_from(
         .into_iter()
         .map(|r| r.expect("every job sends exactly one report"))
         .collect();
+    if let Some(w) = &best {
+        hls_obs::obs_count!(StrategyWon);
+        hls_obs::obs_instant!(PortfolioRace, &candidates[w.index].name, w.diameter);
+    }
     Ok(RaceOutcome { reports, best })
 }
 
@@ -643,6 +663,8 @@ pub fn run_portfolio(
         && !cfg.budget.wall_expired()
     {
         rounds += 1;
+        hls_obs::obs_count!(RefineRounds);
+        let _round_span = hls_obs::obs_span!(RefineRound, "", rounds as u64);
         let cone = cone::critical_cone(&winner, cfg.refine.slack_band);
         if cone.len() < 2 {
             break; // nothing to permute

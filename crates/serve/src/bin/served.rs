@@ -4,12 +4,20 @@
 //! served [tcp:HOST:PORT | unix:/PATH] [--workers N] [--queue N]
 //!        [--conns N] [--max-bytes N] [--deadline-ms N]
 //!        [--max-deadline-ms N] [--cache N] [--pipeline]
+//!        [--trace FILE]
 //! ```
 //!
 //! Listens until SIGTERM/SIGINT, then drains gracefully: stops
 //! accepting, lets running requests finish under their deadlines,
 //! answers queued ones bound-only, prints final counters and exits 0.
+//!
+//! Log verbosity is controlled by `HLS_LOG`
+//! (`error|warn|info|debug|trace|off`, default `info`). `--trace
+//! FILE` turns the span recorder on for the daemon's lifetime and
+//! writes a Chrome `trace_event` timeline to FILE on shutdown (open
+//! it in `chrome://tracing` or Perfetto).
 
+use hls_obs::{obs_error, obs_info};
 use hls_serve::{BindAddr, ServeConfig, Server};
 use std::time::Duration;
 
@@ -55,14 +63,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: served [tcp:HOST:PORT | unix:/PATH] [--workers N] [--queue N] [--conns N]\n\
          \x20             [--max-bytes N] [--deadline-ms N] [--max-deadline-ms N] [--cache N]\n\
-         \x20             [--pipeline]"
+         \x20             [--pipeline] [--trace FILE]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> (BindAddr, ServeConfig) {
+fn parse_args() -> (BindAddr, ServeConfig, Option<std::path::PathBuf>) {
     let mut addr = BindAddr::Tcp("127.0.0.1:7411".into());
     let mut cfg = ServeConfig::default();
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         fn numeric(args: &mut dyn Iterator<Item = String>) -> u64 {
@@ -81,39 +90,48 @@ fn parse_args() -> (BindAddr, ServeConfig) {
             "--pipeline" => {
                 cfg.flow.pipeline = Some(hls_search::PipelineConfig::default());
             }
+            "--trace" => {
+                trace_out = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ));
+            }
             "--help" | "-h" => usage(),
             other => match BindAddr::parse(other) {
                 Ok(a) => addr = a,
                 Err(e) => {
-                    eprintln!("served: {e}");
+                    obs_error!("served", "{e}");
                     usage()
                 }
             },
         }
     }
-    (addr, cfg)
+    (addr, cfg, trace_out)
 }
 
 fn main() {
-    let (addr, cfg) = parse_args();
+    let (addr, cfg, trace_out) = parse_args();
     sig::install();
+    if trace_out.is_some() {
+        hls_obs::set_enabled(true);
+    }
     let server = match Server::start(&addr, cfg) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("served: bind {addr}: {e}");
+            obs_error!("served", "bind {addr}: {e}");
             std::process::exit(1);
         }
     };
-    eprintln!("served: listening on {}", server.addr());
+    obs_info!("served", "listening on {}", server.addr());
 
     while !sig::stopped() {
         std::thread::sleep(Duration::from_millis(100));
     }
 
-    eprintln!("served: draining");
+    obs_info!("served", "draining");
     let stats = server.shutdown(Duration::from_secs(10));
-    eprintln!(
-        "served: done — received={} admitted={} completed={} shed={} drained={} \
+    obs_info!(
+        "served",
+        "done — received={} admitted={} completed={} shed={} drained={} \
          malformed={} toolarge={} timeouts={} poisoned={} cache_hits={} eco_hits={} \
          bound_only={}",
         stats.received,
@@ -129,4 +147,11 @@ fn main() {
         stats.eco_hits,
         stats.bound_only,
     );
+    if let Some(path) = trace_out {
+        let json = hls_obs::export::chrome_trace_json(&hls_obs::recorder::snapshot_events());
+        match std::fs::write(&path, json) {
+            Ok(()) => obs_info!("served", "trace written to {}", path.display()),
+            Err(e) => obs_error!("served", "writing trace {}: {e}", path.display()),
+        }
+    }
 }

@@ -184,6 +184,42 @@ impl Client {
             return match resp {
                 Response::Accepted(a) => Ok(a),
                 Response::Rejected(r) => Err(ClientError::Rejected(r)),
+                // A stray STATS reply belongs to no scheduling
+                // exchange; keep waiting for our answer.
+                Response::Stats(_) => continue,
+            };
+        }
+    }
+
+    /// Queries the daemon's live metrics snapshot (`STATS` verb) and
+    /// returns the flat JSON body. Answered inline by the connection
+    /// thread, so it works even while the daemon is draining or its
+    /// workers are saturated.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] — transport failures, a typed rejection (e.g.
+    /// a malformed query), or an unparsable reply.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let header = protocol::format_stats_header(id);
+        self.writer.write_all(header.as_bytes())?;
+        self.writer.flush()?;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            let resp = protocol::parse_response(&line).map_err(ClientError::Protocol)?;
+            if resp.id() != id && resp.id() != 0 {
+                continue;
+            }
+            return match resp {
+                Response::Stats(s) => Ok(s.json),
+                Response::Rejected(r) => Err(ClientError::Rejected(r)),
+                Response::Accepted(_) => continue,
             };
         }
     }
@@ -254,6 +290,7 @@ mod tests {
                 id: 1,
                 kind,
                 msg: String::new(),
+                trace: 0,
             })
         };
         assert!(rej(RejectKind::Overloaded).retryable());

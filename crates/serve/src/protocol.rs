@@ -101,6 +101,10 @@ pub struct Accepted {
     /// Server-side service time in microseconds (queue wait
     /// excluded).
     pub micros: u64,
+    /// Server-assigned trace id tying this response to its spans in
+    /// the flight recorder and Chrome trace (`trace=<hex>` on the
+    /// wire). `0` when the server did not assign one.
+    pub trace: u64,
 }
 
 /// Typed rejection categories. Each knows whether a retry of the
@@ -178,6 +182,18 @@ pub struct Rejected {
     pub kind: RejectKind,
     /// Human-readable detail. Single line on the wire.
     pub msg: String,
+    /// Server-assigned trace id (see [`Accepted::trace`]); `0` when
+    /// absent — client-side rejections never carry one.
+    pub trace: u64,
+}
+
+/// A live telemetry snapshot, answering a `STATS` query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Echoed query id.
+    pub id: u64,
+    /// The flat JSON metrics snapshot (single line, no newlines).
+    pub json: String,
 }
 
 /// One response line, parsed.
@@ -187,6 +203,8 @@ pub enum Response {
     Accepted(Accepted),
     /// `ERR …`
     Rejected(Rejected),
+    /// `STATS …` — the answer to a `STATS` query.
+    Stats(StatsReply),
 }
 
 impl Response {
@@ -195,6 +213,17 @@ impl Response {
         match self {
             Response::Accepted(a) => a.id,
             Response::Rejected(r) => r.id,
+            Response::Stats(s) => s.id,
+        }
+    }
+
+    /// Stamps the server-assigned trace id onto an answer or
+    /// rejection (no-op for stats replies, which carry no trace).
+    pub fn set_trace(&mut self, trace: u64) {
+        match self {
+            Response::Accepted(a) => a.trace = trace,
+            Response::Rejected(r) => r.trace = trace,
+            Response::Stats(_) => {}
         }
     }
 }
@@ -291,6 +320,40 @@ pub fn parse_request_header(line: &str) -> Result<Request, ProtoError> {
     Ok(req)
 }
 
+/// Formats a `STATS` query line (newline-terminated, no body).
+pub fn format_stats_header(id: u64) -> String {
+    format!("STATS id={id}\n")
+}
+
+/// `true` when a header line opens a `STATS` query rather than a
+/// `REQ` — the cheap dispatch test the server runs per line.
+pub fn is_stats_header(line: &str) -> bool {
+    line.split_ascii_whitespace().next() == Some("STATS")
+}
+
+/// Parses a `STATS` query line, returning the query id.
+///
+/// # Errors
+///
+/// [`ProtoError`] on anything but `STATS id=<n>`.
+pub fn parse_stats_header(line: &str) -> Result<u64, ProtoError> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    let mut toks = line.split_ascii_whitespace();
+    match toks.next() {
+        Some("STATS") => {}
+        other => return Err(err(format!("expected STATS, got `{other:?}`"))),
+    }
+    let mut id = None;
+    for tok in toks {
+        let (k, v) = kv(tok)?;
+        match k {
+            "id" => id = Some(parse_u64(k, v)?),
+            other => return Err(err(format!("unknown STATS key `{other}`"))),
+        }
+    }
+    id.ok_or_else(|| err("STATS line missing id"))
+}
+
 /// Strips newlines out of a message so it cannot break line framing.
 pub fn sanitize_msg(msg: &str) -> String {
     msg.replace(['\n', '\r'], " ")
@@ -305,22 +368,42 @@ pub fn format_response(r: &Response) -> String {
                 s.push_str(&format!(" states={states}"));
             }
             s.push_str(&format!(
-                " lb={} cache={} degraded={} us={}\n",
+                " lb={} cache={} degraded={} us={}",
                 a.lower_bound,
                 a.cache.name(),
                 a.degraded,
                 a.micros
             ));
+            if a.trace != 0 {
+                s.push_str(&format!(" trace={:016x}", a.trace));
+            }
+            s.push('\n');
             s
         }
-        Response::Rejected(r) => format!(
-            "ERR id={} kind={} retry={} msg={}\n",
-            r.id,
-            r.kind.name(),
-            u8::from(r.kind.retryable()),
-            sanitize_msg(&r.msg)
-        ),
+        Response::Rejected(r) => {
+            let mut s = format!(
+                "ERR id={} kind={} retry={}",
+                r.id,
+                r.kind.name(),
+                u8::from(r.kind.retryable()),
+            );
+            if r.trace != 0 {
+                s.push_str(&format!(" trace={:016x}", r.trace));
+            }
+            // `msg=` stays last: it swallows the rest of the line.
+            s.push_str(&format!(" msg={}\n", sanitize_msg(&r.msg)));
+            s
+        }
+        Response::Stats(st) => {
+            // The snapshot JSON is whitespace-free by construction;
+            // sanitize anyway so framing survives a foreign payload.
+            format!("STATS id={} body={}\n", st.id, sanitize_msg(&st.json))
+        }
     }
+}
+
+fn parse_trace(v: &str) -> Result<u64, ProtoError> {
+    u64::from_str_radix(v, 16).map_err(|_| err(format!("bad trace id `{v}`")))
 }
 
 /// Parses a response line.
@@ -343,6 +426,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                 cache: CacheStatus::Miss,
                 degraded: 0,
                 micros: 0,
+                trace: 0,
             };
             let mut saw_id = false;
             for tok in rest.split_ascii_whitespace() {
@@ -361,6 +445,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                     }
                     "degraded" => a.degraded = parse_u64(k, v)? as usize,
                     "us" => a.micros = parse_u64(k, v)?,
+                    "trace" => a.trace = parse_trace(v)?,
                     other => return Err(err(format!("unknown OK key `{other}`"))),
                 }
             }
@@ -373,6 +458,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             let mut id = None;
             let mut kind = None;
             let mut retry = None;
+            let mut trace = 0u64;
             let mut rest_toks = rest.split_ascii_whitespace();
             let mut msg = String::new();
             // `msg=` must come last: it swallows the rest of the line.
@@ -391,6 +477,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                         )
                     }
                     "retry" => retry = Some(v == "1"),
+                    "trace" => trace = parse_trace(v)?,
                     other => return Err(err(format!("unknown ERR key `{other}`"))),
                 }
             }
@@ -405,9 +492,31 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                 id: id.ok_or_else(|| err("ERR line missing id"))?,
                 kind,
                 msg,
+                trace,
             }))
         }
-        other => Err(err(format!("expected OK or ERR, got `{other}`"))),
+        "STATS" => {
+            let mut id = None;
+            let mut json = String::new();
+            let mut rest_toks = rest.split_ascii_whitespace();
+            // `body=` swallows the rest of the line, like ERR's msg=.
+            if let Some(off) = rest.find("body=") {
+                json = rest[off + 5..].to_string();
+                rest_toks = rest[..off].split_ascii_whitespace();
+            }
+            for tok in rest_toks {
+                let (k, v) = kv(tok)?;
+                match k {
+                    "id" => id = Some(parse_u64(k, v)?),
+                    other => return Err(err(format!("unknown STATS key `{other}`"))),
+                }
+            }
+            Ok(Response::Stats(StatsReply {
+                id: id.ok_or_else(|| err("STATS line missing id"))?,
+                json,
+            }))
+        }
+        other => Err(err(format!("expected OK, ERR or STATS, got `{other}`"))),
     }
 }
 
@@ -466,6 +575,7 @@ mod tests {
             cache: CacheStatus::Eco,
             degraded: 2,
             micros: 812,
+            trace: 0xdead_beef_0042_1177,
         });
         let bound_only = Response::Accepted(Accepted {
             id: 8,
@@ -475,11 +585,13 @@ mod tests {
             cache: CacheStatus::Miss,
             degraded: 3,
             micros: 40,
+            trace: 0,
         });
         let rej = Response::Rejected(Rejected {
             id: 9,
             kind: RejectKind::Overloaded,
             msg: "admission queue full (capacity 64)".into(),
+            trace: 0x1122_3344_5566_7788,
         });
         for r in [ok, bound_only, rej] {
             let line = format_response(&r);
@@ -494,6 +606,7 @@ mod tests {
             id: 1,
             kind: RejectKind::Malformed,
             msg: "line 2\ncol 3\r\nboom".into(),
+            trace: 0,
         });
         let line = format_response(&r);
         assert_eq!(line.matches('\n').count(), 1);
@@ -519,6 +632,49 @@ mod tests {
         }
         // A forged retry flag that contradicts the kind is rejected.
         assert!(parse_response("ERR id=1 kind=malformed retry=1 msg=x").is_err());
+    }
+
+    #[test]
+    fn stats_header_roundtrips_and_rejects_garbage() {
+        let line = format_stats_header(42);
+        assert!(is_stats_header(&line));
+        assert!(!is_stats_header("REQ id=1 bytes=0\n"));
+        assert_eq!(parse_stats_header(&line).unwrap(), 42);
+        for bad in ["", "STATS", "STATS id=x", "STATS zorp=1", "REQ id=1"] {
+            assert!(parse_stats_header(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn stats_reply_roundtrips() {
+        let r = Response::Stats(StatsReply {
+            id: 3,
+            json: r#"{"serve_requests":12,"p99":{"a":1}}"#.into(),
+        });
+        let line = format_response(&r);
+        assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+        assert_eq!(parse_response(&line).unwrap(), r);
+        assert_eq!(r.id(), 3);
+    }
+
+    #[test]
+    fn trace_ids_survive_the_wire_and_bad_ones_are_rejected() {
+        let mut r = Response::Accepted(Accepted {
+            id: 1,
+            rung: "eco".into(),
+            states: Some(4),
+            lower_bound: 4,
+            cache: CacheStatus::Hit,
+            degraded: 0,
+            micros: 10,
+            trace: 0,
+        });
+        r.set_trace(0xabc);
+        match parse_response(&format_response(&r)).unwrap() {
+            Response::Accepted(a) => assert_eq!(a.trace, 0xabc),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_response("OK id=1 rung=eco lb=4 trace=nothex\n").is_err());
     }
 
     #[test]

@@ -292,6 +292,11 @@ struct Job {
     /// Wall deadline on the fault-injectable clock, so injected skew
     /// exercises the same expiry paths real overload does.
     deadline: Instant,
+    /// When the job entered the queue (real clock), for the
+    /// queue-wait histogram.
+    enqueued: Instant,
+    /// Trace id stamped on whatever response answers this request.
+    trace: u64,
     writer: Arc<Mutex<Stream>>,
 }
 
@@ -485,6 +490,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: &Listener, tx: &SyncSender<Job>) {
                         id: 0,
                         kind,
                         msg: msg.to_string(),
+                        trace: 0,
                     });
                     if let Ok(clone) = stream.try_clone() {
                         send_line(&Arc::new(Mutex::new(clone)), &resp);
@@ -507,6 +513,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: &Listener, tx: &SyncSender<Job>) {
                     continue;
                 }
                 inner.conns.fetch_add(1, Ordering::AcqRel);
+                hls_obs::obs_gauge_add!(Connections, 1);
                 let inner2 = Arc::clone(inner);
                 let tx2 = tx.clone();
                 let spawned = std::thread::Builder::new()
@@ -514,9 +521,11 @@ fn accept_loop(inner: &Arc<Inner>, listener: &Listener, tx: &SyncSender<Job>) {
                     .spawn(move || {
                         connection_loop(&inner2, stream, &tx2);
                         inner2.conns.fetch_sub(1, Ordering::AcqRel);
+                        hls_obs::obs_gauge_add!(Connections, -1);
                     });
                 if spawned.is_err() {
                     inner.conns.fetch_sub(1, Ordering::AcqRel);
+                    hls_obs::obs_gauge_add!(Connections, -1);
                     inner.stats.shed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -603,6 +612,32 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
         if line.trim().is_empty() {
             continue;
         }
+        // STATS is answered inline by the connection thread — it
+        // never enters the queue, so it works even when the daemon is
+        // draining or the workers are saturated. That makes it a
+        // trustworthy probe of an unhealthy daemon.
+        if protocol::is_stats_header(&line) {
+            match protocol::parse_stats_header(&line) {
+                Ok(sid) => {
+                    hls_obs::obs_count!(StatsQueries);
+                    let json = hls_obs::export::metrics_json(&hls_obs::metrics::snapshot());
+                    send_line(&writer, &Response::Stats(protocol::StatsReply { id: sid, json }));
+                }
+                Err(e) => {
+                    inner.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    send_line(
+                        &writer,
+                        &Response::Rejected(Rejected {
+                            id: 0,
+                            kind: RejectKind::Malformed,
+                            msg: e.to_string(),
+                            trace: 0,
+                        }),
+                    );
+                }
+            }
+            continue;
+        }
         let req = match protocol::parse_request_header(&line) {
             Ok(r) => r,
             Err(e) => {
@@ -616,12 +651,17 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
                         id: 0,
                         kind: RejectKind::Malformed,
                         msg: e.to_string(),
+                        trace: 0,
                     }),
                 );
                 return;
             }
         };
         inner.stats.received.fetch_add(1, Ordering::Relaxed);
+        hls_obs::obs_count!(ServeRequests);
+        // The trace id is minted at admission so every response for
+        // this request — including rejections — carries it.
+        let trace = hls_obs::next_trace_id();
 
         if req.bytes > inner.cfg.max_request_bytes {
             // Refusing before reading the body is the point: an
@@ -638,6 +678,7 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
                         "declared body of {} bytes exceeds limit {}",
                         req.bytes, inner.cfg.max_request_bytes
                     ),
+                    trace,
                 }),
             );
             return;
@@ -652,6 +693,7 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
                         id: req.id,
                         kind: RejectKind::Malformed,
                         msg: format!("truncated body: {e}"),
+                        trace,
                     }),
                 );
                 return;
@@ -666,6 +708,7 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
                     id: req.id,
                     kind: RejectKind::Draining,
                     msg: "server is draining".into(),
+                    trace,
                 }),
             );
             continue;
@@ -679,6 +722,8 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
             deadline: faultinject::now() + ms,
             req,
             text: String::from_utf8_lossy(&body).into_owned(),
+            enqueued: Instant::now(),
+            trace,
             writer: Arc::clone(&writer),
         };
         let id = job.req.id;
@@ -686,12 +731,14 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
         // the job before this thread runs again, and its decrement
         // must never observe the counter at zero.
         inner.stats.queue_depth.fetch_add(1, Ordering::AcqRel);
+        hls_obs::obs_gauge_add!(QueueDepth, 1);
         match tx.try_send(job) {
             Ok(()) => {
                 inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
             }
             Err(TrySendError::Full(job)) => {
                 inner.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                hls_obs::obs_gauge_add!(QueueDepth, -1);
                 inner.stats.shed.fetch_add(1, Ordering::Relaxed);
                 send_line(
                     &job.writer,
@@ -702,11 +749,13 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
                             "admission queue full (capacity {})",
                             inner.cfg.queue_capacity
                         ),
+                        trace,
                     }),
                 );
             }
             Err(TrySendError::Disconnected(job)) => {
                 inner.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                hls_obs::obs_gauge_add!(QueueDepth, -1);
                 inner.stats.drain_rejects.fetch_add(1, Ordering::Relaxed);
                 send_line(
                     &job.writer,
@@ -714,6 +763,7 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream, tx: &SyncSender<Job>) {
                         id,
                         kind: RejectKind::Draining,
                         msg: "server is shutting down".into(),
+                        trace,
                     }),
                 );
             }
@@ -741,25 +791,42 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Arc<Mutex<Receiver<Job>>>) {
         };
         inner.stats.in_flight.fetch_add(1, Ordering::AcqRel);
         inner.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+        hls_obs::obs_gauge_add!(InFlight, 1);
+        hls_obs::obs_gauge_add!(QueueDepth, -1);
+        hls_obs::obs_hist!(ServeQueueWaitUs, job.enqueued.elapsed().as_micros() as u64);
 
         let id = job.req.id;
+        let trace = job.trace;
         let writer = Arc::clone(&job.writer);
+        // The service span carries the trace id as its argument, so a
+        // Chrome timeline row can be joined against the `trace=` token
+        // the client saw on its OK/ERR line.
+        let _req_span = hls_obs::obs_span!(ServeRequest, "", trace);
         // The per-request unwind boundary: a panic anywhere below —
         // parser, cache, flow — poisons this answer and nothing else.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _scope = RunScope::enter(&format!("serve:req{id}"));
             handle(inner, &job)
         }));
-        let resp = outcome.unwrap_or_else(|payload| {
+        let mut resp = outcome.unwrap_or_else(|payload| {
+            let msg = threaded_sched::panic_message(payload.as_ref());
+            hls_obs::obs_count!(ServePanics);
+            hls_obs::obs_error!("serve", "request {id} (trace {trace:016x}) panicked: {msg}");
+            // Post-mortem before the evidence scrolls away: the flight
+            // recorder freezes the ring and counters as of the panic.
+            hls_obs::flight::dump(&format!("serve request {id} panicked: {msg}"));
             Response::Rejected(Rejected {
                 id,
                 kind: RejectKind::Poisoned,
-                msg: threaded_sched::panic_message(payload.as_ref()),
+                msg,
+                trace: 0,
             })
         });
+        resp.set_trace(trace);
         match &resp {
             Response::Accepted(_) => {
                 inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                hls_obs::obs_count!(ServeCompleted);
             }
             Response::Rejected(r) => {
                 let c = match r.kind {
@@ -770,10 +837,13 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Arc<Mutex<Receiver<Job>>>) {
                     _ => &inner.stats.drain_rejects,
                 };
                 c.fetch_add(1, Ordering::Relaxed);
+                hls_obs::obs_count!(ServeRejected);
             }
+            Response::Stats(_) => {}
         }
         send_line(&writer, &resp);
         inner.stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+        hls_obs::obs_gauge_add!(InFlight, -1);
     }
 }
 
@@ -792,6 +862,7 @@ fn map_flow_error(id: u64, e: &FlowError) -> Rejected {
         id,
         kind,
         msg: e.to_string(),
+        trace: 0,
     }
 }
 
@@ -807,6 +878,7 @@ fn handle(inner: &Inner, job: &Job) -> Response {
             id,
             kind: RejectKind::Timeout,
             msg: "deadline expired while queued".into(),
+            trace: 0,
         });
     }
 
@@ -817,6 +889,7 @@ fn handle(inner: &Inner, job: &Job) -> Response {
                 id,
                 kind: RejectKind::Malformed,
                 msg: e.to_string(),
+                trace: 0,
             })
         }
     };
@@ -827,6 +900,7 @@ fn handle(inner: &Inner, job: &Job) -> Response {
     if !job.req.nocache {
         if let Some(a) = unpoisoned(inner.cache.lock()).lookup(hash, &graph) {
             inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            hls_obs::obs_count!(CacheHits);
             return Response::Accepted(Accepted {
                 id,
                 rung: a.rung,
@@ -835,6 +909,7 @@ fn handle(inner: &Inner, job: &Job) -> Response {
                 cache: CacheStatus::Hit,
                 degraded: 0,
                 micros: started.elapsed().as_micros() as u64,
+                trace: 0,
             });
         }
     }
@@ -883,6 +958,7 @@ fn handle(inner: &Inner, job: &Job) -> Response {
                         cache: CacheStatus::Eco,
                         degraded: 0,
                         micros: started.elapsed().as_micros() as u64,
+                        trace: 0,
                     });
                 }
                 Err(FlowError::Timeout) => {
@@ -927,6 +1003,7 @@ fn handle(inner: &Inner, job: &Job) -> Response {
                 cache: CacheStatus::Miss,
                 degraded: out.degraded.len(),
                 micros: started.elapsed().as_micros() as u64,
+                trace: 0,
             })
         }
         Err(e) => Response::Rejected(map_flow_error(id, &e)),
